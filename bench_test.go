@@ -1,0 +1,192 @@
+// Package ccsvm_test holds the benchmark harness: one testing.B benchmark per
+// table/figure series of the paper's evaluation (see the experiment index in
+// DESIGN.md). The benchmarks run small problem instances so `go test -bench`
+// stays fast; cmd/paper-figs runs the full sweeps. Each benchmark reports the
+// simulated time (sim_us) and off-chip traffic (dram_accesses) of the system
+// it models alongside the host-time metrics Go reports natively.
+package ccsvm_test
+
+import (
+	"testing"
+
+	"ccsvm/internal/apu"
+	"ccsvm/internal/core"
+	"ccsvm/internal/workloads"
+)
+
+const benchSeed = 42
+
+func report(b *testing.B, r workloads.Result) {
+	b.Helper()
+	b.ReportMetric(float64(r.Time)/1e6, "sim_us/op")
+	b.ReportMetric(float64(r.DRAMAccesses), "dram_accesses/op")
+}
+
+// Figure 5: dense matrix multiply.
+
+func BenchmarkFig5MatMulCCSVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.MatMulXthreads(core.DefaultConfig(), 32, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+func BenchmarkFig5MatMulAPUOpenCL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.MatMulOpenCL(apu.DefaultConfig(), 32, benchSeed, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+func BenchmarkFig5MatMulAPUCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.MatMulCPU(apu.DefaultConfig(), 32, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+// Figure 6: all-pairs shortest path.
+
+func BenchmarkFig6APSPCCSVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.APSPXthreads(core.DefaultConfig(), 20, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+func BenchmarkFig6APSPAPUOpenCL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.APSPOpenCL(apu.DefaultConfig(), 20, benchSeed, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+func BenchmarkFig6APSPAPUCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.APSPCPU(apu.DefaultConfig(), 20, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+// Figure 7: Barnes-Hut.
+
+func BenchmarkFig7BarnesHutCCSVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.BarnesHutXthreads(core.DefaultConfig(), 96, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+func BenchmarkFig7BarnesHutAPUCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.BarnesHutCPU(apu.DefaultConfig(), 96, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+func BenchmarkFig7BarnesHutAPUPthreads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.BarnesHutPthreads(apu.DefaultConfig(), 96, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+// Figure 8: sparse matrix multiply (size and density axes).
+
+func BenchmarkFig8SparseSizeCCSVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.SparseMMXthreads(core.DefaultConfig(), 48, 0.02, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+func BenchmarkFig8SparseSizeAPUCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.SparseMMCPU(apu.DefaultConfig(), 48, 0.02, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+func BenchmarkFig8SparseDensityCCSVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.SparseMMXthreads(core.DefaultConfig(), 48, 0.06, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+// Figure 9: off-chip DRAM accesses (the benchmark runs the CCSVM and OpenCL
+// offloads and reports their traffic; the assertion-level comparison lives in
+// the workloads tests).
+
+func BenchmarkFig9DRAMAccesses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ccsvm, err := workloads.MatMulXthreads(core.DefaultConfig(), 32, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ocl, err := workloads.MatMulOpenCL(apu.DefaultConfig(), 32, benchSeed, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ccsvm.DRAMAccesses), "ccsvm_dram/op")
+		b.ReportMetric(float64(ocl.DRAMAccesses), "apu_dram/op")
+	}
+}
+
+// Figures 3/4: vector-add offload cost by programming model.
+
+func BenchmarkCodeComparisonVectorAddXthreads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.VectorAddXthreads(core.DefaultConfig(), 256, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}
+
+func BenchmarkCodeComparisonVectorAddOpenCL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.VectorAddOpenCL(apu.DefaultConfig(), 256, benchSeed, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, r)
+	}
+}

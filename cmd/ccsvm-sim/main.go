@@ -1,0 +1,78 @@
+// Command ccsvm-sim runs one benchmark on one simulated system and prints its
+// measured time, off-chip traffic, and the machine's statistics counters. It
+// is the single-experiment companion to cmd/paper-figs.
+//
+// Usage:
+//
+//	ccsvm-sim -workload matmul -system ccsvm -n 64
+//	ccsvm-sim -workload apsp   -system opencl -n 32
+//	ccsvm-sim -workload sparse -system cpu -n 96 -density 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccsvm/internal/apu"
+	"ccsvm/internal/core"
+	"ccsvm/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "matmul", "matmul, apsp, barneshut, sparse, vectoradd")
+	system := flag.String("system", "ccsvm", "ccsvm, cpu, opencl, pthreads")
+	n := flag.Int("n", 32, "problem size (matrix dimension, vertices, bodies, or elements)")
+	density := flag.Float64("density", 0.01, "non-zero density for the sparse workload")
+	seed := flag.Int64("seed", 42, "input seed")
+	includeInit := flag.Bool("opencl-init", false, "include OpenCL platform init and JIT in the measured region")
+	flag.Parse()
+
+	ccsvmCfg := core.DefaultConfig()
+	apuCfg := apu.DefaultConfig()
+
+	var (
+		res workloads.Result
+		err error
+	)
+	switch *workload + "/" + *system {
+	case "matmul/ccsvm":
+		res, err = workloads.MatMulXthreads(ccsvmCfg, *n, *seed)
+	case "matmul/cpu":
+		res, err = workloads.MatMulCPU(apuCfg, *n, *seed)
+	case "matmul/opencl":
+		res, err = workloads.MatMulOpenCL(apuCfg, *n, *seed, *includeInit)
+	case "apsp/ccsvm":
+		res, err = workloads.APSPXthreads(ccsvmCfg, *n, *seed)
+	case "apsp/cpu":
+		res, err = workloads.APSPCPU(apuCfg, *n, *seed)
+	case "apsp/opencl":
+		res, err = workloads.APSPOpenCL(apuCfg, *n, *seed, *includeInit)
+	case "barneshut/ccsvm":
+		res, err = workloads.BarnesHutXthreads(ccsvmCfg, *n, *seed)
+	case "barneshut/cpu":
+		res, err = workloads.BarnesHutCPU(apuCfg, *n, *seed)
+	case "barneshut/pthreads":
+		res, err = workloads.BarnesHutPthreads(apuCfg, *n, *seed)
+	case "sparse/ccsvm":
+		res, err = workloads.SparseMMXthreads(ccsvmCfg, *n, *density, *seed)
+	case "sparse/cpu":
+		res, err = workloads.SparseMMCPU(apuCfg, *n, *density, *seed)
+	case "vectoradd/ccsvm":
+		res, err = workloads.VectorAddXthreads(ccsvmCfg, *n, *seed)
+	case "vectoradd/opencl":
+		res, err = workloads.VectorAddOpenCL(apuCfg, *n, *seed, *includeInit)
+	default:
+		fmt.Fprintf(os.Stderr, "ccsvm-sim: unsupported combination %s on %s\n", *workload, *system)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccsvm-sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload:      %s (n=%d)\n", *workload, *n)
+	fmt.Printf("system:        %s\n", res.Label)
+	fmt.Printf("measured time: %v\n", res.Time)
+	fmt.Printf("DRAM accesses: %d\n", res.DRAMAccesses)
+	fmt.Printf("verified:      %v\n", res.Checked)
+}

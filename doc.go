@@ -1,0 +1,14 @@
+// Package ccsvm is a from-scratch Go reproduction of "Evaluating Cache
+// Coherent Shared Virtual Memory for Heterogeneous Multicore Chips"
+// (Hechtman & Sorin, ISPASS 2013): a discrete-event simulator of a CPU/MTTOP
+// chip tightly coupled through cache-coherent shared virtual memory, the
+// xthreads programming model that targets it, a loosely-coupled APU/OpenCL
+// baseline machine, and the workloads and sweeps that regenerate every table
+// and figure of the paper's evaluation.
+//
+// The implementation lives under internal/; the runnable entry points are
+// cmd/paper-figs (regenerate the evaluation), cmd/ccsvm-sim (run one
+// benchmark on one system), and the programs under examples/. The root-level
+// bench_test.go holds one Go benchmark per figure. See README.md, DESIGN.md
+// and EXPERIMENTS.md.
+package ccsvm

@@ -1,0 +1,44 @@
+// Example barneshut: the Figure 7 experiment at a single body count —
+// pointer-chasing Barnes-Hut n-body with its parallel force phase offloaded
+// to the MTTOP cores under CCSVM, compared against one APU CPU core and a
+// 4-thread pthreads run on the APU's CPU cores.
+//
+// Run with:  go run ./examples/barneshut -bodies 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ccsvm/internal/apu"
+	"ccsvm/internal/core"
+	"ccsvm/internal/stats"
+	"ccsvm/internal/workloads"
+)
+
+func main() {
+	bodies := flag.Int("bodies", 256, "number of bodies")
+	seed := flag.Int64("seed", 1, "input seed")
+	flag.Parse()
+
+	cpu, err := workloads.BarnesHutCPU(apu.DefaultConfig(), *bodies, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pth, err := workloads.BarnesHutPthreads(apu.DefaultConfig(), *bodies, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ccsvm, err := workloads.BarnesHutXthreads(core.DefaultConfig(), *bodies, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Barnes-Hut, %d bodies, 2 timesteps", *bodies),
+		"System", "Time", "Speedup vs 1 CPU core", "DRAM accesses")
+	for _, r := range []workloads.Result{cpu, pth, ccsvm} {
+		t.AddRow(r.Label, r.Time.String(), r.Speedup(cpu), r.DRAMAccesses)
+	}
+	fmt.Println(t.String())
+}

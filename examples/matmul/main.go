@@ -1,0 +1,47 @@
+// Example matmul: the Figure 5 experiment at a single size — dense matrix
+// multiply offloaded three ways (CCSVM/xthreads, APU/OpenCL, one APU CPU
+// core), printing runtimes and off-chip traffic side by side.
+//
+// Run with:  go run ./examples/matmul -n 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ccsvm/internal/apu"
+	"ccsvm/internal/core"
+	"ccsvm/internal/stats"
+	"ccsvm/internal/workloads"
+)
+
+func main() {
+	n := flag.Int("n", 48, "matrix dimension")
+	seed := flag.Int64("seed", 1, "input seed")
+	flag.Parse()
+
+	cpu, err := workloads.MatMulCPU(apu.DefaultConfig(), *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ocl, err := workloads.MatMulOpenCL(apu.DefaultConfig(), *n, *seed, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oclFull, err := workloads.MatMulOpenCL(apu.DefaultConfig(), *n, *seed, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ccsvm, err := workloads.MatMulXthreads(core.DefaultConfig(), *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Dense matrix multiply, N=%d", *n),
+		"System", "Time", "Relative to CPU", "DRAM accesses")
+	for _, r := range []workloads.Result{cpu, oclFull, ocl, ccsvm} {
+		t.AddRow(r.Label, r.Time.String(), float64(r.Time)/float64(cpu.Time), r.DRAMAccesses)
+	}
+	fmt.Println(t.String())
+}

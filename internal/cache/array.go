@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"fmt"
+
+	"ccsvm/internal/mem"
+)
+
+// Line is one cache line's bookkeeping in a set-associative array.
+type Line struct {
+	// Valid marks an allocated way (any state other than an empty slot).
+	Valid bool
+	// Addr is the line address of the block held in this way.
+	Addr mem.LineAddr
+	// State is the coherence state (used by the L1s and, with a narrower
+	// set of states, the L2 data array where Dirty matters).
+	State State
+	// Dirty marks an L2 block newer than DRAM.
+	Dirty bool
+	// lru is the logical timestamp of the last touch.
+	lru uint64
+}
+
+// Config describes a set-associative array.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Assoc is the number of ways per set.
+	Assoc int
+	// Name is used in error messages and stats.
+	Name string
+}
+
+// NumSets returns the number of sets implied by the configuration.
+func (c Config) NumSets() int {
+	lines := c.SizeBytes / mem.LineSize
+	if c.Assoc <= 0 || lines <= 0 || lines%c.Assoc != 0 {
+		panic(fmt.Sprintf("cache: invalid geometry for %s: %d bytes, %d-way", c.Name, c.SizeBytes, c.Assoc))
+	}
+	return lines / c.Assoc
+}
+
+// Array is a set-associative structure with LRU replacement. It stores no
+// data, only tags and state; functional data lives in mem.Physical.
+type Array struct {
+	cfg     Config
+	sets    [][]Line
+	numSets int
+	tick    uint64
+}
+
+// NewArray builds an array from the configuration.
+func NewArray(cfg Config) *Array {
+	numSets := cfg.NumSets()
+	sets := make([][]Line, numSets)
+	for i := range sets {
+		sets[i] = make([]Line, cfg.Assoc)
+	}
+	return &Array{cfg: cfg, sets: sets, numSets: numSets}
+}
+
+// Config returns the array configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// SetIndex returns the set an address maps to.
+func (a *Array) SetIndex(addr mem.LineAddr) int {
+	return int(uint64(addr) % uint64(a.numSets))
+}
+
+// Lookup returns the line holding addr, or nil if it is not present.
+// Lookup does not update LRU state; use Touch for accesses.
+func (a *Array) Lookup(addr mem.LineAddr) *Line {
+	set := a.sets[a.SetIndex(addr)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks the line as most recently used and returns it, or nil if the
+// address is not present.
+func (a *Array) Touch(addr mem.LineAddr) *Line {
+	l := a.Lookup(addr)
+	if l != nil {
+		a.tick++
+		l.lru = a.tick
+	}
+	return l
+}
+
+// Allocate installs addr into its set and returns the line, plus the victim
+// line's previous contents if an occupied way had to be evicted. Only ways in
+// a stable state are considered victims; if every way is transient (an
+// outstanding transaction holds it), Allocate returns ok=false and the caller
+// must retry later.
+//
+// The returned line is in state Invalid / not dirty; the caller sets its
+// state.
+func (a *Array) Allocate(addr mem.LineAddr) (line *Line, victim Line, evicted bool, ok bool) {
+	if l := a.Lookup(addr); l != nil {
+		panic(fmt.Sprintf("cache: %s allocate of already-present %v", a.cfg.Name, addr))
+	}
+	set := a.sets[a.SetIndex(addr)]
+	// Prefer an empty way.
+	var candidate *Line
+	for i := range set {
+		if !set[i].Valid {
+			candidate = &set[i]
+			break
+		}
+	}
+	if candidate == nil {
+		// Pick the least recently used stable way.
+		for i := range set {
+			if !set[i].State.Stable() {
+				continue
+			}
+			if candidate == nil || set[i].lru < candidate.lru {
+				candidate = &set[i]
+			}
+		}
+		if candidate == nil {
+			return nil, Line{}, false, false
+		}
+		victim = *candidate
+		evicted = true
+	}
+	a.tick++
+	*candidate = Line{Valid: true, Addr: addr, State: Invalid, lru: a.tick}
+	return candidate, victim, evicted, true
+}
+
+// Invalidate removes addr from the array if present.
+func (a *Array) Invalidate(addr mem.LineAddr) {
+	if l := a.Lookup(addr); l != nil {
+		*l = Line{}
+	}
+}
+
+// Occupancy reports how many valid lines the array currently holds.
+func (a *Array) Occupancy() int {
+	n := 0
+	for _, set := range a.sets {
+		for i := range set {
+			if set[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEach calls fn on every valid line. Mutating the line through the pointer
+// is allowed.
+func (a *Array) ForEach(fn func(l *Line)) {
+	for _, set := range a.sets {
+		for i := range set {
+			if set[i].Valid {
+				fn(&set[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package cache provides the set-associative cache arrays used by the L1
+// caches, the shared banked L2, and other structures (TLBs reuse the
+// replacement machinery). The arrays track tags, MOESI coherence state and
+// LRU replacement order; all data is functional and lives in mem.Physical.
+package cache
+
+import "fmt"
+
+// State is a MOESI coherence state, including the transient states the L1
+// controllers move through while a transaction is outstanding. The stable
+// states follow Sweazey & Smith's MOESI class; the transient states follow
+// the naming convention of Sorin, Hill & Wood's primer (the paper's reference
+// [35]): the letters after the underscore say what the controller is waiting
+// for (D = data, A = acks or an ack message).
+type State uint8
+
+const (
+	// Invalid: the line is not present.
+	Invalid State = iota
+	// Shared: read-only copy; other caches may also hold it.
+	Shared
+	// Exclusive: read-only copy, guaranteed to be the only cached copy; may
+	// be upgraded to Modified silently.
+	Exclusive
+	// Owned: read-only copy that is dirty with respect to memory; this cache
+	// must supply data to requestors and write it back on eviction.
+	Owned
+	// Modified: writable copy, dirty, the only cached copy.
+	Modified
+
+	// ISD: was Invalid, issued GetS, waiting for data.
+	ISD
+	// IMAD: was Invalid, issued GetM, waiting for data and invalidation acks.
+	IMAD
+	// IMA: received data for a GetM, still waiting for invalidation acks.
+	IMA
+	// SMAD: was Shared, issued GetM (upgrade), waiting for data/ack-count and
+	// invalidation acks.
+	SMAD
+	// SMA: upgrade acknowledged, still waiting for invalidation acks.
+	SMA
+	// MIA: was Modified, issued PutM, waiting for the put ack.
+	MIA
+	// OIA: was Owned, issued PutO (or degraded from MIA), waiting for the put
+	// ack.
+	OIA
+	// EIA: was Exclusive, issued PutE, waiting for the put ack.
+	EIA
+	// IIA: lost the line while a Put was in flight; waiting for the (stale)
+	// put ack before returning to Invalid.
+	IIA
+	// ISDI: was ISD but an invalidation arrived before the data; the data
+	// will satisfy exactly one load and then the line becomes Invalid.
+	ISDI
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	case ISD:
+		return "IS_D"
+	case IMAD:
+		return "IM_AD"
+	case IMA:
+		return "IM_A"
+	case SMAD:
+		return "SM_AD"
+	case SMA:
+		return "SM_A"
+	case MIA:
+		return "MI_A"
+	case OIA:
+		return "OI_A"
+	case EIA:
+		return "EI_A"
+	case IIA:
+		return "II_A"
+	case ISDI:
+		return "IS_D_I"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Stable reports whether the state is one of the five stable MOESI states.
+func (s State) Stable() bool {
+	switch s {
+	case Invalid, Shared, Exclusive, Owned, Modified:
+		return true
+	}
+	return false
+}
+
+// Transient reports whether the state is a transient (in-flight) state.
+func (s State) Transient() bool { return !s.Stable() }
+
+// CanRead reports whether a load can be satisfied locally in this state.
+func (s State) CanRead() bool {
+	switch s {
+	case Shared, Exclusive, Owned, Modified:
+		return true
+	}
+	return false
+}
+
+// CanWrite reports whether a store can be performed locally in this state.
+func (s State) CanWrite() bool {
+	switch s {
+	case Exclusive, Modified:
+		return true
+	}
+	return false
+}
+
+// IsOwnerState reports whether a cache in this state is responsible for
+// supplying data (and eventually writing it back).
+func (s State) IsOwnerState() bool {
+	switch s {
+	case Exclusive, Owned, Modified:
+		return true
+	}
+	return false
+}
+
+// Dirty reports whether the cached copy differs from memory.
+func (s State) Dirty() bool {
+	return s == Modified || s == Owned
+}

@@ -1,0 +1,101 @@
+package coherence
+
+import (
+	"fmt"
+
+	"ccsvm/internal/cache"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/noc"
+)
+
+// Checker verifies the single-writer/multiple-reader (SWMR) invariant on
+// every stable-state transition reported by the L1 controllers. It is cheap
+// enough to stay enabled in normal runs and is the backbone of the protocol's
+// property-based stress tests.
+type Checker struct {
+	// lines maps each line to the stable state held by each cache.
+	lines map[mem.LineAddr]map[noc.NodeID]cache.State
+	// Violations collects human-readable descriptions of invariant
+	// violations; tests assert this stays empty.
+	Violations []string
+	// enabled gates checking; a disabled checker records nothing.
+	enabled bool
+}
+
+// NewChecker returns an enabled checker.
+func NewChecker() *Checker {
+	return &Checker{lines: make(map[mem.LineAddr]map[noc.NodeID]cache.State), enabled: true}
+}
+
+// SetEnabled turns checking on or off.
+func (c *Checker) SetEnabled(on bool) { c.enabled = on }
+
+// Record notes that the cache at node now holds addr in the given stable
+// state (Invalid removes the entry) and re-checks the invariant for that
+// line.
+func (c *Checker) Record(node noc.NodeID, addr mem.LineAddr, st cache.State) {
+	if c == nil || !c.enabled {
+		return
+	}
+	if !st.Stable() {
+		return
+	}
+	holders := c.lines[addr]
+	if holders == nil {
+		if st == cache.Invalid {
+			return
+		}
+		holders = make(map[noc.NodeID]cache.State)
+		c.lines[addr] = holders
+	}
+	if st == cache.Invalid {
+		delete(holders, node)
+		if len(holders) == 0 {
+			delete(c.lines, addr)
+		}
+	} else {
+		holders[node] = st
+	}
+	c.check(addr, holders)
+}
+
+func (c *Checker) check(addr mem.LineAddr, holders map[noc.NodeID]cache.State) {
+	writers := 0
+	readers := 0
+	owners := 0
+	for _, st := range holders {
+		if st.CanWrite() {
+			writers++
+		}
+		if st.CanRead() {
+			readers++
+		}
+		if st == cache.Owned || st == cache.Modified || st == cache.Exclusive {
+			owners++
+		}
+	}
+	if writers > 1 {
+		c.Violations = append(c.Violations,
+			fmt.Sprintf("SWMR: %v has %d writers: %v", addr, writers, holders))
+	}
+	if writers == 1 && readers > 1 {
+		c.Violations = append(c.Violations,
+			fmt.Sprintf("SWMR: %v has a writer and %d readers: %v", addr, readers, holders))
+	}
+	if owners > 1 {
+		c.Violations = append(c.Violations,
+			fmt.Sprintf("ownership: %v has %d owner-state holders: %v", addr, owners, holders))
+	}
+}
+
+// Holders returns a copy of the stable holders of a line, for tests.
+func (c *Checker) Holders(addr mem.LineAddr) map[noc.NodeID]cache.State {
+	out := make(map[noc.NodeID]cache.State)
+	for n, s := range c.lines[addr] {
+		out[n] = s
+	}
+	return out
+}
+
+// Ok reports whether no violation has been observed.
+func (c *Checker) Ok() bool { return len(c.Violations) == 0 }

@@ -1,0 +1,379 @@
+package coherence
+
+import (
+	"fmt"
+
+	"ccsvm/internal/cache"
+	"ccsvm/internal/dram"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/noc"
+	"ccsvm/internal/sim"
+	"ccsvm/internal/stats"
+)
+
+// DirState is the directory's view of a line.
+type DirState uint8
+
+const (
+	// DirInvalid: no L1 holds the line.
+	DirInvalid DirState = iota
+	// DirShared: one or more L1s hold the line in Shared state.
+	DirShared
+	// DirExclusive: exactly one L1 holds the line in Exclusive or Modified
+	// state (the directory cannot distinguish the two because E upgrades to
+	// M silently).
+	DirExclusive
+	// DirOwned: one L1 holds the line in Owned state; others may share it.
+	DirOwned
+)
+
+// String names the directory state.
+func (s DirState) String() string {
+	switch s {
+	case DirInvalid:
+		return "Dir-I"
+	case DirShared:
+		return "Dir-S"
+	case DirExclusive:
+		return "Dir-EM"
+	case DirOwned:
+		return "Dir-O"
+	default:
+		return fmt.Sprintf("DirState(%d)", uint8(s))
+	}
+}
+
+// dirEntry is the directory's bookkeeping for one line.
+type dirEntry struct {
+	state   DirState
+	owner   noc.NodeID
+	sharers map[noc.NodeID]struct{}
+	// busy blocks the entry while an owner forward or a DRAM fill is in
+	// flight; queued requests are serviced in order afterwards.
+	busy    bool
+	pending *Msg
+	queue   []*Msg
+}
+
+func (e *dirEntry) sharerList(except noc.NodeID) []noc.NodeID {
+	out := make([]noc.NodeID, 0, len(e.sharers))
+	for s := range e.sharers {
+		if s != except {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BankConfig describes one L2/directory bank.
+type BankConfig struct {
+	// L2 is this bank's slice of the shared, inclusive L2 (1 MB 16-way per
+	// bank for the Table 2 chip).
+	L2 cache.Config
+	// AccessLatency is the L2/directory access latency charged per request.
+	AccessLatency sim.Duration
+	// Name prefixes this bank's statistics.
+	Name string
+}
+
+// DirectoryBank is one bank of the shared L2 cache with its embedded
+// directory. It owns an interleaved slice of the physical address space and a
+// DRAM channel for misses and writebacks.
+type DirectoryBank struct {
+	engine *sim.Engine
+	id     noc.NodeID
+	net    noc.Network
+	cfg    BankConfig
+	l2     *cache.Array
+	memory *dram.Controller
+
+	entries map[mem.LineAddr]*dirEntry
+
+	requests   *stats.Counter
+	l2Hits     *stats.Counter
+	l2Misses   *stats.Counter
+	writebacks *stats.Counter
+	forwards   *stats.Counter
+	invsSent   *stats.Counter
+}
+
+// NewDirectoryBank builds a bank, attaches it to the network and wires it to
+// a DRAM channel.
+func NewDirectoryBank(engine *sim.Engine, id noc.NodeID, net noc.Network, cfg BankConfig,
+	memory *dram.Controller, reg *stats.Registry) *DirectoryBank {
+	b := &DirectoryBank{
+		engine:  engine,
+		id:      id,
+		net:     net,
+		cfg:     cfg,
+		l2:      cache.NewArray(cfg.L2),
+		memory:  memory,
+		entries: make(map[mem.LineAddr]*dirEntry),
+	}
+	b.requests = reg.Counter(cfg.Name + ".requests")
+	b.l2Hits = reg.Counter(cfg.Name + ".l2_hits")
+	b.l2Misses = reg.Counter(cfg.Name + ".l2_misses")
+	b.writebacks = reg.Counter(cfg.Name + ".writebacks_to_dram")
+	b.forwards = reg.Counter(cfg.Name + ".forwards")
+	b.invsSent = reg.Counter(cfg.Name + ".invalidations_sent")
+	net.Attach(id, b)
+	return b
+}
+
+// NodeID reports the bank's network node.
+func (b *DirectoryBank) NodeID() noc.NodeID { return b.id }
+
+// Entry exposes a line's directory state for tests.
+func (b *DirectoryBank) Entry(addr mem.LineAddr) (DirState, noc.NodeID, []noc.NodeID) {
+	e, ok := b.entries[addr]
+	if !ok {
+		return DirInvalid, 0, nil
+	}
+	return e.state, e.owner, e.sharerList(-1)
+}
+
+// Busy reports whether any entry is mid-transaction (tests use this to
+// confirm quiescence).
+func (b *DirectoryBank) Busy() bool {
+	for _, e := range b.entries {
+		if e.busy || len(e.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *DirectoryBank) entryOf(addr mem.LineAddr) *dirEntry {
+	e, ok := b.entries[addr]
+	if !ok {
+		e = &dirEntry{state: DirInvalid, sharers: make(map[noc.NodeID]struct{})}
+		b.entries[addr] = e
+	}
+	return e
+}
+
+// Receive implements noc.Receiver.
+func (b *DirectoryBank) Receive(nm *noc.Message) {
+	m := nm.Payload.(*Msg)
+	// Every message pays the L2/directory access latency.
+	b.engine.Schedule(b.cfg.AccessLatency, func() {
+		b.process(m)
+	})
+}
+
+func (b *DirectoryBank) process(m *Msg) {
+	switch m.Type {
+	case MsgFwdDone:
+		b.handleFwdDone(m)
+	case MsgGetS, MsgGetM, MsgPutM, MsgPutO, MsgPutE:
+		e := b.entryOf(m.Addr)
+		if e.busy {
+			e.queue = append(e.queue, m)
+			return
+		}
+		b.handleRequest(e, m)
+	default:
+		panic(fmt.Sprintf("%s: unexpected message %v", b.cfg.Name, m))
+	}
+}
+
+func (b *DirectoryBank) handleRequest(e *dirEntry, m *Msg) {
+	b.requests.Inc()
+	switch m.Type {
+	case MsgGetS:
+		b.handleGetS(e, m)
+	case MsgGetM:
+		b.handleGetM(e, m)
+	case MsgPutM, MsgPutO, MsgPutE:
+		b.handlePut(e, m)
+	}
+}
+
+func (b *DirectoryBank) handleGetS(e *dirEntry, m *Msg) {
+	switch e.state {
+	case DirInvalid:
+		// No cache holds the line: grant Exclusive, as x86-style protocols do
+		// for the first reader.
+		b.withL2Data(e, m.Addr, func() {
+			send(b.net, b.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor})
+			e.state = DirExclusive
+			e.owner = m.Requestor
+		})
+	case DirShared:
+		b.withL2Data(e, m.Addr, func() {
+			send(b.net, b.id, m.Requestor, &Msg{Type: MsgData, Addr: m.Addr, Requestor: m.Requestor})
+			e.sharers[m.Requestor] = struct{}{}
+		})
+	case DirExclusive, DirOwned:
+		e.busy = true
+		e.pending = m
+		b.forwards.Inc()
+		send(b.net, b.id, e.owner, &Msg{Type: MsgFwdGetS, Addr: m.Addr, Requestor: m.Requestor})
+	}
+}
+
+func (b *DirectoryBank) handleGetM(e *dirEntry, m *Msg) {
+	switch e.state {
+	case DirInvalid:
+		b.withL2Data(e, m.Addr, func() {
+			send(b.net, b.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor})
+			e.state = DirExclusive
+			e.owner = m.Requestor
+		})
+	case DirShared:
+		others := e.sharerList(m.Requestor)
+		_, wasSharer := e.sharers[m.Requestor]
+		for _, s := range others {
+			b.invsSent.Inc()
+			send(b.net, b.id, s, &Msg{Type: MsgInv, Addr: m.Addr, Requestor: m.Requestor})
+		}
+		if wasSharer {
+			send(b.net, b.id, m.Requestor, &Msg{Type: MsgAckCount, Addr: m.Addr, Requestor: m.Requestor, AckCount: len(others)})
+			e.state = DirExclusive
+			e.owner = m.Requestor
+			e.sharers = make(map[noc.NodeID]struct{})
+		} else {
+			b.withL2Data(e, m.Addr, func() {
+				send(b.net, b.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor, AckCount: len(others)})
+				e.state = DirExclusive
+				e.owner = m.Requestor
+				e.sharers = make(map[noc.NodeID]struct{})
+			})
+		}
+	case DirExclusive:
+		if e.owner == m.Requestor {
+			panic(fmt.Sprintf("%s: GetM from current exclusive owner %d for %v", b.cfg.Name, m.Requestor, m.Addr))
+		}
+		e.busy = true
+		e.pending = m
+		b.forwards.Inc()
+		send(b.net, b.id, e.owner, &Msg{Type: MsgFwdGetM, Addr: m.Addr, Requestor: m.Requestor, AckCount: 0})
+	case DirOwned:
+		others := e.sharerList(m.Requestor)
+		for _, s := range others {
+			b.invsSent.Inc()
+			send(b.net, b.id, s, &Msg{Type: MsgInv, Addr: m.Addr, Requestor: m.Requestor})
+		}
+		if e.owner == m.Requestor {
+			send(b.net, b.id, m.Requestor, &Msg{Type: MsgAckCount, Addr: m.Addr, Requestor: m.Requestor, AckCount: len(others)})
+			e.state = DirExclusive
+			e.sharers = make(map[noc.NodeID]struct{})
+			return
+		}
+		e.busy = true
+		e.pending = m
+		b.forwards.Inc()
+		send(b.net, b.id, e.owner, &Msg{Type: MsgFwdGetM, Addr: m.Addr, Requestor: m.Requestor, AckCount: len(others)})
+	}
+}
+
+func (b *DirectoryBank) handlePut(e *dirEntry, m *Msg) {
+	isOwner := (e.state == DirExclusive || e.state == DirOwned) && e.owner == m.Requestor
+	if !isOwner {
+		send(b.net, b.id, m.Requestor, &Msg{Type: MsgPutAckStale, Addr: m.Addr, Requestor: m.Requestor})
+		return
+	}
+	if m.Dirty {
+		b.installL2(m.Addr, true)
+	}
+	switch e.state {
+	case DirExclusive:
+		e.state = DirInvalid
+		e.owner = 0
+	case DirOwned:
+		e.owner = 0
+		if len(e.sharers) == 0 {
+			e.state = DirInvalid
+		} else {
+			e.state = DirShared
+		}
+	}
+	send(b.net, b.id, m.Requestor, &Msg{Type: MsgPutAck, Addr: m.Addr, Requestor: m.Requestor})
+}
+
+func (b *DirectoryBank) handleFwdDone(m *Msg) {
+	e := b.entryOf(m.Addr)
+	if !e.busy || e.pending == nil {
+		panic(fmt.Sprintf("%s: FwdDone for %v with no pending transaction", b.cfg.Name, m.Addr))
+	}
+	if m.Dirty {
+		b.installL2(m.Addr, true)
+	}
+	p := e.pending
+	oldOwner := e.owner
+	switch p.Type {
+	case MsgGetS:
+		switch m.OwnerKept {
+		case cache.Owned:
+			e.state = DirOwned
+			e.sharers[p.Requestor] = struct{}{}
+		case cache.Shared:
+			e.state = DirShared
+			e.owner = 0
+			e.sharers[oldOwner] = struct{}{}
+			e.sharers[p.Requestor] = struct{}{}
+		case cache.Invalid:
+			e.state = DirShared
+			e.owner = 0
+			e.sharers[p.Requestor] = struct{}{}
+		default:
+			panic(fmt.Sprintf("%s: FwdDone kept %v", b.cfg.Name, m.OwnerKept))
+		}
+	case MsgGetM:
+		e.state = DirExclusive
+		e.owner = p.Requestor
+		e.sharers = make(map[noc.NodeID]struct{})
+	default:
+		panic(fmt.Sprintf("%s: pending %v on FwdDone", b.cfg.Name, p))
+	}
+	e.busy = false
+	e.pending = nil
+	b.drainQueue(e)
+}
+
+func (b *DirectoryBank) drainQueue(e *dirEntry) {
+	for !e.busy && len(e.queue) > 0 {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		b.handleRequest(e, next)
+	}
+}
+
+// withL2Data runs fn once the bank has the line's data available in the L2
+// (fetching it from DRAM on a miss, evicting an L2 victim if necessary).
+func (b *DirectoryBank) withL2Data(e *dirEntry, addr mem.LineAddr, fn func()) {
+	if b.l2.Touch(addr) != nil {
+		b.l2Hits.Inc()
+		fn()
+		return
+	}
+	b.l2Misses.Inc()
+	e.busy = true
+	b.memory.Read(addr, func() {
+		b.installL2(addr, false)
+		e.busy = false
+		fn()
+		b.drainQueue(e)
+	})
+}
+
+// installL2 places (or refreshes) a line in the L2 data array, writing back
+// the victim to DRAM if it was dirty.
+func (b *DirectoryBank) installL2(addr mem.LineAddr, dirty bool) {
+	if l := b.l2.Touch(addr); l != nil {
+		l.Dirty = l.Dirty || dirty
+		return
+	}
+	line, victim, evicted, ok := b.l2.Allocate(addr)
+	if !ok {
+		panic(fmt.Sprintf("%s: L2 allocation failed for %v", b.cfg.Name, addr))
+	}
+	if evicted && victim.Dirty {
+		b.writebacks.Inc()
+		b.memory.Write(victim.Addr, nil)
+	}
+	line.State = cache.Shared
+	line.Dirty = dirty
+}
+
+var _ noc.Receiver = (*DirectoryBank)(nil)

@@ -1,0 +1,560 @@
+package coherence
+
+import (
+	"fmt"
+
+	"ccsvm/internal/cache"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/noc"
+	"ccsvm/internal/sim"
+	"ccsvm/internal/stats"
+)
+
+// L1Config describes one private L1 data cache and its controller.
+type L1Config struct {
+	// Cache is the array geometry (64 KB 4-way for CPU cores, 16 KB 4-way
+	// for MTTOP cores in Table 2).
+	Cache cache.Config
+	// HitLatency is the load-to-use latency of a hit (2 CPU cycles for CPU
+	// cores, 1 MTTOP cycle for MTTOP cores).
+	HitLatency sim.Duration
+	// Name prefixes this controller's statistics.
+	Name string
+}
+
+// pendingAccess is a core request waiting inside the controller.
+type pendingAccess struct {
+	req  mem.Request
+	done func()
+}
+
+// mshr tracks one outstanding transaction for one line.
+type mshr struct {
+	addr      mem.LineAddr
+	wantWrite bool
+	// fromOwned marks an upgrade issued while this cache held the line in
+	// Owned state: until the directory processes the upgrade this cache is
+	// still the owner and must answer forwards immediately (deferring them
+	// would deadlock the blocked directory).
+	fromOwned bool
+	primary   pendingAccess
+	secondary []pendingAccess
+	// acksNeeded is -1 until the data/ack-count response announces it.
+	acksNeeded   int
+	acksReceived int
+	haveData     bool
+	deferred     []*Msg
+}
+
+// evictEntry is a line that has been evicted from the array but whose
+// writeback (Put) has not been acknowledged yet; it can still supply data to
+// forwarded requests.
+type evictEntry struct {
+	state cache.State
+}
+
+// L1Controller is the coherence controller of one private L1 data cache. It
+// accepts requests from its core through the mem.Port interface and speaks
+// the MOESI directory protocol on the on-chip network.
+type L1Controller struct {
+	engine  *sim.Engine
+	id      noc.NodeID
+	net     noc.Network
+	banks   BankMapper
+	cfg     L1Config
+	array   *cache.Array
+	checker *Checker
+
+	mshrs     map[mem.LineAddr]*mshr
+	evictions map[mem.LineAddr]*evictEntry
+	stalled   []pendingAccess
+
+	hits        *stats.Counter
+	misses      *stats.Counter
+	evictsClean *stats.Counter
+	evictsDirty *stats.Counter
+	invsRecv    *stats.Counter
+	fwdsRecv    *stats.Counter
+}
+
+// NewL1Controller builds an L1 controller and attaches it to the network at
+// the given node ID.
+func NewL1Controller(engine *sim.Engine, id noc.NodeID, net noc.Network, banks BankMapper,
+	cfg L1Config, checker *Checker, reg *stats.Registry) *L1Controller {
+	c := &L1Controller{
+		engine:    engine,
+		id:        id,
+		net:       net,
+		banks:     banks,
+		cfg:       cfg,
+		array:     cache.NewArray(cfg.Cache),
+		checker:   checker,
+		mshrs:     make(map[mem.LineAddr]*mshr),
+		evictions: make(map[mem.LineAddr]*evictEntry),
+	}
+	c.hits = reg.Counter(cfg.Name + ".hits")
+	c.misses = reg.Counter(cfg.Name + ".misses")
+	c.evictsClean = reg.Counter(cfg.Name + ".evictions_clean")
+	c.evictsDirty = reg.Counter(cfg.Name + ".evictions_dirty")
+	c.invsRecv = reg.Counter(cfg.Name + ".invalidations")
+	c.fwdsRecv = reg.Counter(cfg.Name + ".forwards")
+	net.Attach(id, c)
+	return c
+}
+
+// NodeID reports the controller's network node.
+func (c *L1Controller) NodeID() noc.NodeID { return c.id }
+
+// Array exposes the cache array for tests.
+func (c *L1Controller) Array() *cache.Array { return c.array }
+
+// Access implements mem.Port: the core issues a request; done runs when the
+// access has coherence permission and is globally performed.
+func (c *L1Controller) Access(req mem.Request, done func()) {
+	if err := req.Validate(); err != nil {
+		panic(fmt.Sprintf("%s: %v", c.cfg.Name, err))
+	}
+	req.Requestor = int(c.id)
+	c.engine.Schedule(c.cfg.HitLatency, func() {
+		c.handle(pendingAccess{req: req, done: done})
+	})
+}
+
+// handle processes a request after the tag-access latency has been charged.
+func (c *L1Controller) handle(p pendingAccess) {
+	addr := p.req.Line()
+
+	// A line whose eviction is still in flight cannot be re-requested until
+	// the directory acknowledges the writeback.
+	if _, evicting := c.evictions[addr]; evicting {
+		c.stalled = append(c.stalled, p)
+		return
+	}
+	// Coalesce with an outstanding transaction for the same line.
+	if m := c.mshrs[addr]; m != nil {
+		m.secondary = append(m.secondary, p)
+		return
+	}
+
+	line := c.array.Touch(addr)
+	needWrite := p.req.Type.NeedsExclusive()
+	if line != nil && line.State.Stable() {
+		if !needWrite && line.State.CanRead() {
+			c.hits.Inc()
+			p.done()
+			return
+		}
+		if needWrite && line.State.CanWrite() {
+			if line.State == cache.Exclusive {
+				line.State = cache.Modified
+				c.checker.Record(c.id, addr, cache.Modified)
+			}
+			c.hits.Inc()
+			p.done()
+			return
+		}
+	}
+	c.misses.Inc()
+	c.startTransaction(p, line, needWrite)
+}
+
+// startTransaction allocates a way if needed and sends GetS or GetM.
+func (c *L1Controller) startTransaction(p pendingAccess, line *cache.Line, needWrite bool) {
+	addr := p.req.Line()
+	var initial cache.State
+	if line == nil {
+		var victim cache.Line
+		var evicted, ok bool
+		line, victim, evicted, ok = c.array.Allocate(addr)
+		if !ok {
+			// Every way in the set has an outstanding transaction; retry when
+			// one completes.
+			c.stalled = append(c.stalled, p)
+			return
+		}
+		if evicted {
+			c.evictLine(victim)
+		}
+		if needWrite {
+			initial = cache.IMAD
+		} else {
+			initial = cache.ISD
+		}
+	} else {
+		// Upgrade in place: a Shared or Owned copy needs write permission.
+		// Both wait for an ack count (and possibly data) from the directory,
+		// which the SM_AD state handles.
+		if (line.State != cache.Shared && line.State != cache.Owned) || !needWrite {
+			panic(fmt.Sprintf("%s: unexpected transaction start from %v", c.cfg.Name, line.State))
+		}
+		initial = cache.SMAD
+	}
+	fromOwned := initial == cache.SMAD && line.State == cache.Owned
+	line.State = initial
+	m := &mshr{addr: addr, wantWrite: needWrite, fromOwned: fromOwned, primary: p, acksNeeded: -1}
+	c.mshrs[addr] = m
+	req := &Msg{Addr: addr, Requestor: c.id}
+	if needWrite {
+		req.Type = MsgGetM
+	} else {
+		req.Type = MsgGetS
+	}
+	send(c.net, c.id, c.banks(addr), req)
+}
+
+// evictLine handles a victim chosen by the replacement policy.
+func (c *L1Controller) evictLine(victim cache.Line) {
+	switch victim.State {
+	case cache.Shared:
+		// Silent eviction: the directory's sharer list becomes conservative,
+		// which is harmless (we still ack any future invalidation).
+		c.evictsClean.Inc()
+		c.checker.Record(c.id, victim.Addr, cache.Invalid)
+	case cache.Exclusive:
+		c.evictsClean.Inc()
+		c.checker.Record(c.id, victim.Addr, cache.Invalid)
+		c.evictions[victim.Addr] = &evictEntry{state: cache.EIA}
+		send(c.net, c.id, c.banks(victim.Addr), &Msg{Type: MsgPutE, Addr: victim.Addr, Requestor: c.id})
+	case cache.Modified:
+		c.evictsDirty.Inc()
+		c.checker.Record(c.id, victim.Addr, cache.Invalid)
+		c.evictions[victim.Addr] = &evictEntry{state: cache.MIA}
+		send(c.net, c.id, c.banks(victim.Addr), &Msg{Type: MsgPutM, Addr: victim.Addr, Requestor: c.id, Dirty: true})
+	case cache.Owned:
+		c.evictsDirty.Inc()
+		c.checker.Record(c.id, victim.Addr, cache.Invalid)
+		c.evictions[victim.Addr] = &evictEntry{state: cache.OIA}
+		send(c.net, c.id, c.banks(victim.Addr), &Msg{Type: MsgPutO, Addr: victim.Addr, Requestor: c.id, Dirty: true})
+	default:
+		panic(fmt.Sprintf("%s: evicting line in state %v", c.cfg.Name, victim.State))
+	}
+}
+
+// Receive implements noc.Receiver.
+func (c *L1Controller) Receive(nm *noc.Message) {
+	m := nm.Payload.(*Msg)
+	switch m.Type {
+	case MsgData, MsgDataExcl, MsgAckCount:
+		c.handleResponse(m)
+	case MsgInvAck:
+		c.handleInvAck(m)
+	case MsgFwdGetS, MsgFwdGetM:
+		c.handleFwd(m)
+	case MsgInv:
+		c.handleInv(m)
+	case MsgPutAck, MsgPutAckStale:
+		c.handlePutAck(m)
+	default:
+		panic(fmt.Sprintf("%s: unexpected message %v", c.cfg.Name, m))
+	}
+}
+
+func (c *L1Controller) handleResponse(m *Msg) {
+	ms := c.mshrs[m.Addr]
+	if ms == nil {
+		panic(fmt.Sprintf("%s: response %v with no outstanding transaction", c.cfg.Name, m))
+	}
+	line := c.array.Lookup(m.Addr)
+	if line == nil {
+		panic(fmt.Sprintf("%s: response %v with no allocated line", c.cfg.Name, m))
+	}
+	switch line.State {
+	case cache.ISD:
+		switch m.Type {
+		case MsgData:
+			c.complete(ms, line, cache.Shared)
+		case MsgDataExcl:
+			c.complete(ms, line, cache.Exclusive)
+		default:
+			panic(fmt.Sprintf("%s: %v in IS_D", c.cfg.Name, m))
+		}
+	case cache.ISDI:
+		// The line was invalidated while the fill was in flight: the data
+		// satisfies the pending loads exactly once and the line is dropped.
+		c.completeAndInvalidate(ms, line)
+	case cache.IMAD, cache.SMAD:
+		switch m.Type {
+		case MsgDataExcl, MsgAckCount:
+			ms.haveData = true
+			ms.acksNeeded = m.AckCount
+			if ms.acksReceived >= ms.acksNeeded {
+				c.complete(ms, line, cache.Modified)
+			} else if line.State == cache.IMAD {
+				line.State = cache.IMA
+			} else {
+				line.State = cache.SMA
+			}
+		default:
+			panic(fmt.Sprintf("%s: %v in %v", c.cfg.Name, m, line.State))
+		}
+	default:
+		panic(fmt.Sprintf("%s: response %v in state %v", c.cfg.Name, m, line.State))
+	}
+}
+
+func (c *L1Controller) handleInvAck(m *Msg) {
+	ms := c.mshrs[m.Addr]
+	if ms == nil {
+		panic(fmt.Sprintf("%s: InvAck with no outstanding transaction for %v", c.cfg.Name, m.Addr))
+	}
+	ms.acksReceived++
+	line := c.array.Lookup(m.Addr)
+	if ms.haveData && ms.acksReceived >= ms.acksNeeded {
+		c.complete(ms, line, cache.Modified)
+	}
+}
+
+// complete finishes a transaction: the line reaches final, the waiting core
+// requests run, deferred forwards are serviced, and stalled requests retry.
+func (c *L1Controller) complete(ms *mshr, line *cache.Line, final cache.State) {
+	line.State = final
+	c.checker.Record(c.id, ms.addr, final)
+	delete(c.mshrs, ms.addr)
+
+	var unsatisfied []pendingAccess
+	ms.primary.done()
+	for _, s := range ms.secondary {
+		if s.req.Type.NeedsExclusive() && !final.CanWrite() {
+			unsatisfied = append(unsatisfied, s)
+			continue
+		}
+		s.done()
+	}
+	// An Exclusive line written by a coalesced store upgrades silently.
+	if final == cache.Exclusive {
+		for _, s := range ms.secondary {
+			if s.req.Type.NeedsExclusive() {
+				// Handled above only when CanWrite, which E satisfies; make
+				// the upgrade to M visible to the invariant checker.
+				line.State = cache.Modified
+				c.checker.Record(c.id, ms.addr, cache.Modified)
+				break
+			}
+		}
+	}
+	deferred := ms.deferred
+	ms.deferred = nil
+	for _, f := range deferred {
+		c.handleFwd(f)
+	}
+	for _, u := range unsatisfied {
+		c.handle(u)
+	}
+	c.retryStalled()
+}
+
+// completeAndInvalidate finishes an IS_D_I transaction: loads are satisfied
+// with the in-flight data, then the line is dropped.
+func (c *L1Controller) completeAndInvalidate(ms *mshr, line *cache.Line) {
+	delete(c.mshrs, ms.addr)
+	ms.primary.done()
+	var reissue []pendingAccess
+	for _, s := range ms.secondary {
+		if s.req.Type.NeedsExclusive() {
+			reissue = append(reissue, s)
+		} else {
+			s.done()
+		}
+	}
+	c.array.Invalidate(ms.addr)
+	deferred := ms.deferred
+	for _, f := range deferred {
+		c.handleFwd(f)
+	}
+	for _, r := range reissue {
+		c.handle(r)
+	}
+	c.retryStalled()
+}
+
+func (c *L1Controller) handleFwd(m *Msg) {
+	c.fwdsRecv.Inc()
+	if ms := c.mshrs[m.Addr]; ms != nil {
+		line := c.array.Lookup(m.Addr)
+		// An upgrade from Owned that has not been granted yet: this cache is
+		// still the owner the directory forwarded to, and the directory is
+		// blocked on our answer, so respond now from the data we still hold.
+		if ms.fromOwned && line != nil && line.State == cache.SMAD {
+			c.fwdWhileUpgrading(m, ms, line)
+			return
+		}
+		// Otherwise the directory has already granted our transaction; the
+		// forward concerns a later request and can wait for our data/acks,
+		// which are already in flight and cannot be blocked by the directory.
+		ms.deferred = append(ms.deferred, m)
+		return
+	}
+	if ev := c.evictions[m.Addr]; ev != nil {
+		c.fwdFromEviction(m, ev)
+		return
+	}
+	line := c.array.Lookup(m.Addr)
+	if line == nil || !line.State.IsOwnerState() {
+		st := cache.Invalid
+		if line != nil {
+			st = line.State
+		}
+		panic(fmt.Sprintf("%s: forward %v but line state is %v", c.cfg.Name, m, st))
+	}
+	switch m.Type {
+	case MsgFwdGetS:
+		send(c.net, c.id, m.Requestor, &Msg{Type: MsgData, Addr: m.Addr, Requestor: m.Requestor})
+		switch line.State {
+		case cache.Modified:
+			line.State = cache.Owned
+			c.checker.Record(c.id, m.Addr, cache.Owned)
+			c.sendFwdDone(m.Addr, cache.Owned, true)
+		case cache.Owned:
+			c.sendFwdDone(m.Addr, cache.Owned, true)
+		case cache.Exclusive:
+			line.State = cache.Shared
+			c.checker.Record(c.id, m.Addr, cache.Shared)
+			c.sendFwdDone(m.Addr, cache.Shared, false)
+		}
+	case MsgFwdGetM:
+		dirty := line.State == cache.Modified || line.State == cache.Owned
+		send(c.net, c.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor, AckCount: m.AckCount})
+		c.array.Invalidate(m.Addr)
+		c.checker.Record(c.id, m.Addr, cache.Invalid)
+		c.sendFwdDone(m.Addr, cache.Invalid, dirty)
+	}
+}
+
+// fwdWhileUpgrading answers a forward received while an upgrade from Owned is
+// waiting to be processed by the directory.
+func (c *L1Controller) fwdWhileUpgrading(m *Msg, ms *mshr, line *cache.Line) {
+	switch m.Type {
+	case MsgFwdGetS:
+		// Supply data and remain the owner; our GetM will be processed later
+		// with this cache still registered as owner.
+		send(c.net, c.id, m.Requestor, &Msg{Type: MsgData, Addr: m.Addr, Requestor: m.Requestor})
+		c.sendFwdDone(m.Addr, cache.Owned, true)
+	case MsgFwdGetM:
+		// Another writer was ordered first: hand over the line; our GetM will
+		// be answered later with full data.
+		send(c.net, c.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor, AckCount: m.AckCount})
+		c.sendFwdDone(m.Addr, cache.Invalid, true)
+		line.State = cache.IMAD
+		ms.fromOwned = false
+		c.checker.Record(c.id, m.Addr, cache.Invalid)
+	}
+}
+
+// fwdFromEviction services a forward for a line that sits in the eviction
+// buffer (its Put has not been acknowledged yet, so this cache is still the
+// owner from the directory's point of view).
+func (c *L1Controller) fwdFromEviction(m *Msg, ev *evictEntry) {
+	switch m.Type {
+	case MsgFwdGetS:
+		send(c.net, c.id, m.Requestor, &Msg{Type: MsgData, Addr: m.Addr, Requestor: m.Requestor})
+		switch ev.state {
+		case cache.MIA:
+			ev.state = cache.OIA
+			c.sendFwdDone(m.Addr, cache.Owned, true)
+		case cache.OIA:
+			c.sendFwdDone(m.Addr, cache.Owned, true)
+		case cache.EIA:
+			ev.state = cache.IIA
+			c.sendFwdDone(m.Addr, cache.Invalid, false)
+		default:
+			panic(fmt.Sprintf("%s: FwdGetS to eviction entry in %v", c.cfg.Name, ev.state))
+		}
+	case MsgFwdGetM:
+		dirty := ev.state == cache.MIA || ev.state == cache.OIA
+		send(c.net, c.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor, AckCount: m.AckCount})
+		c.sendFwdDone(m.Addr, cache.Invalid, dirty)
+		ev.state = cache.IIA
+	}
+}
+
+func (c *L1Controller) sendFwdDone(addr mem.LineAddr, kept cache.State, dirty bool) {
+	send(c.net, c.id, c.banks(addr), &Msg{Type: MsgFwdDone, Addr: addr, Requestor: c.id, OwnerKept: kept, Dirty: dirty})
+}
+
+func (c *L1Controller) handleInv(m *Msg) {
+	c.invsRecv.Inc()
+	ack := func() {
+		send(c.net, c.id, m.Requestor, &Msg{Type: MsgInvAck, Addr: m.Addr, Requestor: m.Requestor})
+	}
+	if ms := c.mshrs[m.Addr]; ms != nil {
+		line := c.array.Lookup(m.Addr)
+		switch line.State {
+		case cache.SMAD:
+			// Our upgrade lost the race: we are invalidated and our GetM will
+			// be answered with full data later.
+			line.State = cache.IMAD
+			c.checker.Record(c.id, m.Addr, cache.Invalid)
+			ack()
+		case cache.ISD:
+			line.State = cache.ISDI
+			ack()
+		case cache.ISDI:
+			ack()
+		default:
+			panic(fmt.Sprintf("%s: Inv in transient state %v", c.cfg.Name, line.State))
+		}
+		return
+	}
+	if _, ok := c.evictions[m.Addr]; ok {
+		// Conservative: acknowledge; the eviction continues independently.
+		ack()
+		return
+	}
+	line := c.array.Lookup(m.Addr)
+	if line == nil {
+		// Silently evicted sharer: the directory's list was stale.
+		ack()
+		return
+	}
+	switch line.State {
+	case cache.Shared:
+		c.array.Invalidate(m.Addr)
+		c.checker.Record(c.id, m.Addr, cache.Invalid)
+		ack()
+	default:
+		panic(fmt.Sprintf("%s: Inv in state %v", c.cfg.Name, line.State))
+	}
+}
+
+func (c *L1Controller) handlePutAck(m *Msg) {
+	if _, ok := c.evictions[m.Addr]; !ok {
+		panic(fmt.Sprintf("%s: PutAck for %v with no eviction in flight", c.cfg.Name, m.Addr))
+	}
+	delete(c.evictions, m.Addr)
+	c.retryStalled()
+}
+
+func (c *L1Controller) retryStalled() {
+	if len(c.stalled) == 0 {
+		return
+	}
+	pending := c.stalled
+	c.stalled = nil
+	for _, p := range pending {
+		c.handle(p)
+	}
+}
+
+// Flush invalidates the entire cache, writing back dirty lines. It is used by
+// tests and by machine teardown; it must only be called when no transactions
+// are outstanding.
+func (c *L1Controller) Flush() {
+	if len(c.mshrs) != 0 {
+		panic(fmt.Sprintf("%s: flush with outstanding transactions", c.cfg.Name))
+	}
+	var victims []cache.Line
+	c.array.ForEach(func(l *cache.Line) {
+		victims = append(victims, *l)
+	})
+	for _, v := range victims {
+		c.array.Invalidate(v.Addr)
+		c.evictLine(v)
+	}
+}
+
+// OutstandingTransactions reports the number of in-flight MSHRs (tests use
+// this to confirm quiescence).
+func (c *L1Controller) OutstandingTransactions() int { return len(c.mshrs) + len(c.evictions) }
+
+var _ mem.Port = (*L1Controller)(nil)
+var _ noc.Receiver = (*L1Controller)(nil)

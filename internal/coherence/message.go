@@ -1,0 +1,153 @@
+// Package coherence implements the MOESI directory cache-coherence protocol
+// of the CCSVM chip: the per-core L1 cache controllers and the banked
+// L2/directory controller, communicating over the on-chip network. The
+// protocol follows Section 3.2.2 of the paper: an unoptimized full-map MOESI
+// directory embedded with the shared, inclusive L2, treating CPU and MTTOP
+// cores identically, and maintaining the single-writer/multiple-reader (SWMR)
+// invariant.
+package coherence
+
+import (
+	"fmt"
+
+	"ccsvm/internal/cache"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/noc"
+)
+
+// MsgType enumerates the protocol messages.
+type MsgType uint8
+
+const (
+	// Requests from an L1 to a directory bank.
+
+	// MsgGetS requests read permission.
+	MsgGetS MsgType = iota
+	// MsgGetM requests write permission.
+	MsgGetM
+	// MsgPutM writes back a Modified line being evicted.
+	MsgPutM
+	// MsgPutO writes back an Owned line being evicted.
+	MsgPutO
+	// MsgPutE notifies the directory that a clean Exclusive line was evicted.
+	MsgPutE
+
+	// Forwards from a directory bank to an L1.
+
+	// MsgFwdGetS asks the owner to supply data to a reading requestor.
+	MsgFwdGetS
+	// MsgFwdGetM asks the owner to supply data and ownership to a writing
+	// requestor.
+	MsgFwdGetM
+	// MsgInv asks a sharer to invalidate and acknowledge to the requestor.
+	MsgInv
+
+	// Responses.
+
+	// MsgData carries a line with read permission (to the requestor).
+	MsgData
+	// MsgDataExcl carries a line with write (or exclusive-clean) permission
+	// and the number of invalidation acks the requestor must collect.
+	MsgDataExcl
+	// MsgAckCount tells an upgrading requestor (already holding data in S)
+	// how many invalidation acks to collect; it carries no data.
+	MsgAckCount
+	// MsgInvAck acknowledges an invalidation, sent by the sharer directly to
+	// the requestor.
+	MsgInvAck
+	// MsgFwdDone tells the directory that the owner has handled a forward;
+	// it reports the state the former owner kept so the directory can update
+	// its sharer/owner bookkeeping, and carries a data copy when the line was
+	// dirty so the inclusive L2 stays up to date.
+	MsgFwdDone
+	// MsgPutAck acknowledges an eviction writeback.
+	MsgPutAck
+	// MsgPutAckStale acknowledges an eviction writeback that raced with a
+	// forward and no longer corresponds to ownership.
+	MsgPutAckStale
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	names := [...]string{
+		"GetS", "GetM", "PutM", "PutO", "PutE",
+		"FwdGetS", "FwdGetM", "Inv",
+		"Data", "DataExcl", "AckCount", "InvAck", "FwdDone", "PutAck", "PutAckStale",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message sizes in bytes for link serialization: a small header for control
+// messages, header plus a 64-byte line for data-carrying messages.
+const (
+	CtrlMsgBytes = 16
+	DataMsgBytes = 16 + mem.LineSize
+)
+
+// Msg is the protocol-level payload carried inside a noc.Message.
+type Msg struct {
+	// Type is the protocol message type.
+	Type MsgType
+	// Addr is the cache line the message concerns.
+	Addr mem.LineAddr
+	// Requestor is the node that started the transaction. For forwards and
+	// invalidations it tells the receiver where to send data or acks.
+	Requestor noc.NodeID
+	// AckCount is the number of invalidation acks the requestor must collect
+	// (MsgDataExcl, MsgAckCount, MsgFwdGetM).
+	AckCount int
+	// OwnerKept reports, on MsgFwdDone, the stable state the previous owner
+	// retained: cache.Owned, cache.Shared or cache.Invalid.
+	OwnerKept cache.State
+	// Dirty reports, on MsgFwdDone and Put messages, whether the line carried
+	// is newer than the L2/memory copy.
+	Dirty bool
+}
+
+// carriesData reports whether the message includes a full cache line.
+func (m *Msg) carriesData() bool {
+	switch m.Type {
+	case MsgData, MsgDataExcl, MsgPutM, MsgPutO:
+		return true
+	case MsgFwdDone:
+		return m.Dirty
+	}
+	return false
+}
+
+// sizeBytes returns the network size of the message.
+func (m *Msg) sizeBytes() int {
+	if m.carriesData() {
+		return DataMsgBytes
+	}
+	return CtrlMsgBytes
+}
+
+// send wraps the protocol message in a network message and sends it.
+func send(net noc.Network, src, dst noc.NodeID, m *Msg) {
+	net.Send(&noc.Message{Src: src, Dst: dst, SizeBytes: m.sizeBytes(), Payload: m})
+}
+
+// String formats the message for traces.
+func (m *Msg) String() string {
+	return fmt.Sprintf("%s %v req=%d acks=%d", m.Type, m.Addr, m.Requestor, m.AckCount)
+}
+
+// BankMapper maps a line address to the directory/L2 bank responsible for it.
+type BankMapper func(mem.LineAddr) noc.NodeID
+
+// InterleaveBanks returns a BankMapper that interleaves consecutive lines
+// across the given bank node IDs, the standard address-interleaved banking of
+// a shared L2.
+func InterleaveBanks(banks []noc.NodeID) BankMapper {
+	if len(banks) == 0 {
+		panic("coherence: no banks")
+	}
+	n := uint64(len(banks))
+	return func(addr mem.LineAddr) noc.NodeID {
+		return banks[uint64(addr)%n]
+	}
+}

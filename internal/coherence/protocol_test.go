@@ -1,0 +1,501 @@
+package coherence
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccsvm/internal/cache"
+	"ccsvm/internal/dram"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/noc"
+	"ccsvm/internal/sim"
+	"ccsvm/internal/stats"
+)
+
+// testSystem is a small CCSVM memory system: a torus, some L1 controllers,
+// some directory banks and a DRAM channel, with the SWMR checker enabled.
+type testSystem struct {
+	engine  *sim.Engine
+	torus   *noc.Torus
+	l1s     []*L1Controller
+	banks   []*DirectoryBank
+	memory  *dram.Controller
+	checker *Checker
+	reg     *stats.Registry
+}
+
+func newTestSystem(t testing.TB, numL1, numBanks int) *testSystem {
+	t.Helper()
+	engine := sim.NewEngine()
+	reg := stats.NewRegistry("test")
+	checker := NewChecker()
+
+	// Node IDs: L1s are 0..numL1-1, banks follow.
+	placement := make(map[noc.NodeID]noc.Coord)
+	total := numL1 + numBanks
+	width := 4
+	height := (total + width - 1) / width
+	if height < 1 {
+		height = 1
+	}
+	for i := 0; i < total; i++ {
+		placement[noc.NodeID(i)] = noc.Coord{X: i % width, Y: i / width}
+	}
+	torus := noc.NewTorus(engine, noc.DefaultTorusConfig(width, height), placement, reg)
+	memory := dram.NewController(engine, dram.DefaultCCSVMConfig(), reg, "dram")
+
+	bankIDs := make([]noc.NodeID, numBanks)
+	for i := range bankIDs {
+		bankIDs[i] = noc.NodeID(numL1 + i)
+	}
+	mapper := InterleaveBanks(bankIDs)
+
+	s := &testSystem{engine: engine, torus: torus, memory: memory, checker: checker, reg: reg}
+	for i := 0; i < numL1; i++ {
+		cfg := L1Config{
+			Cache:      cache.Config{SizeBytes: 4096, Assoc: 4, Name: fmt.Sprintf("l1.%d", i)},
+			HitLatency: 690 * sim.Picosecond,
+			Name:       fmt.Sprintf("l1.%d", i),
+		}
+		s.l1s = append(s.l1s, NewL1Controller(engine, noc.NodeID(i), torus, mapper, cfg, checker, reg))
+	}
+	for i := 0; i < numBanks; i++ {
+		cfg := BankConfig{
+			L2:            cache.Config{SizeBytes: 64 * 1024, Assoc: 16, Name: fmt.Sprintf("l2.%d", i)},
+			AccessLatency: 3400 * sim.Picosecond,
+			Name:          fmt.Sprintf("l2.%d", i),
+		}
+		s.banks = append(s.banks, NewDirectoryBank(engine, bankIDs[i], torus, cfg, memory, reg))
+	}
+	return s
+}
+
+// access issues a request on an L1 and returns a pointer to a completion flag.
+func (s *testSystem) access(l1 int, typ mem.AccessType, addr mem.PAddr) *bool {
+	done := new(bool)
+	s.l1s[l1].Access(mem.Request{Type: typ, Addr: addr, Size: 8}, func() { *done = true })
+	return done
+}
+
+// quiesce runs the engine dry and asserts that every transaction finished and
+// the invariant checker saw no violation.
+func (s *testSystem) quiesce(t testing.TB) {
+	t.Helper()
+	s.engine.Run()
+	for i, l1 := range s.l1s {
+		if n := l1.OutstandingTransactions(); n != 0 {
+			t.Fatalf("l1.%d still has %d outstanding transactions", i, n)
+		}
+	}
+	for i, b := range s.banks {
+		if b.Busy() {
+			t.Fatalf("bank %d still busy", i)
+		}
+	}
+	if !s.checker.Ok() {
+		t.Fatalf("SWMR violations: %v", s.checker.Violations)
+	}
+}
+
+func (s *testSystem) l1State(l1 int, addr mem.PAddr) cache.State {
+	line := s.l1s[l1].Array().Lookup(mem.LineOf(addr))
+	if line == nil {
+		return cache.Invalid
+	}
+	return line.State
+}
+
+func (s *testSystem) dirState(addr mem.PAddr) (DirState, noc.NodeID, []noc.NodeID) {
+	line := mem.LineOf(addr)
+	for _, b := range s.banks {
+		st, owner, sharers := b.Entry(line)
+		if st != DirInvalid || len(sharers) > 0 {
+			return st, owner, sharers
+		}
+	}
+	return DirInvalid, 0, nil
+}
+
+func TestFirstReaderGetsExclusive(t *testing.T) {
+	s := newTestSystem(t, 2, 1)
+	done := s.access(0, mem.Read, 0x1000)
+	s.quiesce(t)
+	if !*done {
+		t.Fatal("read did not complete")
+	}
+	if st := s.l1State(0, 0x1000); st != cache.Exclusive {
+		t.Fatalf("first reader in %v, want E", st)
+	}
+	st, owner, _ := s.dirState(0x1000)
+	if st != DirExclusive || owner != 0 {
+		t.Fatalf("directory %v owner %d, want Dir-EM owner 0", st, owner)
+	}
+	if s.memory.Reads() != 1 {
+		t.Fatalf("DRAM reads = %d, want 1 (cold miss)", s.memory.Reads())
+	}
+}
+
+func TestSecondReaderDowngradesToShared(t *testing.T) {
+	s := newTestSystem(t, 2, 1)
+	s.access(0, mem.Read, 0x1000)
+	s.quiesce(t)
+	s.access(1, mem.Read, 0x1000)
+	s.quiesce(t)
+	if st := s.l1State(0, 0x1000); st != cache.Shared {
+		t.Fatalf("first reader in %v after second read, want S", st)
+	}
+	if st := s.l1State(1, 0x1000); st != cache.Shared {
+		t.Fatalf("second reader in %v, want S", st)
+	}
+	st, _, sharers := s.dirState(0x1000)
+	if st != DirShared || len(sharers) != 2 {
+		t.Fatalf("directory %v with %d sharers, want Dir-S with 2", st, len(sharers))
+	}
+	// The second reader must not have gone off-chip: the data was on chip.
+	if s.memory.Reads() != 1 {
+		t.Fatalf("DRAM reads = %d, want 1 (second read served on-chip)", s.memory.Reads())
+	}
+}
+
+func TestWriterThenReaderMakesOwned(t *testing.T) {
+	s := newTestSystem(t, 2, 1)
+	s.access(0, mem.Write, 0x2000)
+	s.quiesce(t)
+	if st := s.l1State(0, 0x2000); st != cache.Modified {
+		t.Fatalf("writer in %v, want M", st)
+	}
+	s.access(1, mem.Read, 0x2000)
+	s.quiesce(t)
+	if st := s.l1State(0, 0x2000); st != cache.Owned {
+		t.Fatalf("previous writer in %v, want O", st)
+	}
+	if st := s.l1State(1, 0x2000); st != cache.Shared {
+		t.Fatalf("reader in %v, want S", st)
+	}
+	st, owner, sharers := s.dirState(0x2000)
+	if st != DirOwned || owner != 0 || len(sharers) != 1 {
+		t.Fatalf("directory %v owner %d sharers %v", st, owner, sharers)
+	}
+}
+
+func TestWriterInvalidatesSharers(t *testing.T) {
+	s := newTestSystem(t, 3, 2)
+	s.access(0, mem.Read, 0x3000)
+	s.quiesce(t)
+	s.access(1, mem.Read, 0x3000)
+	s.quiesce(t)
+	s.access(2, mem.Write, 0x3000)
+	s.quiesce(t)
+	if st := s.l1State(0, 0x3000); st != cache.Invalid {
+		t.Fatalf("sharer 0 in %v, want I", st)
+	}
+	if st := s.l1State(1, 0x3000); st != cache.Invalid {
+		t.Fatalf("sharer 1 in %v, want I", st)
+	}
+	if st := s.l1State(2, 0x3000); st != cache.Modified {
+		t.Fatalf("writer in %v, want M", st)
+	}
+	st, owner, _ := s.dirState(0x3000)
+	if st != DirExclusive || owner != 2 {
+		t.Fatalf("directory %v owner %d, want Dir-EM owner 2", st, owner)
+	}
+}
+
+func TestUpgradeFromShared(t *testing.T) {
+	s := newTestSystem(t, 2, 1)
+	s.access(0, mem.Read, 0x4000)
+	s.quiesce(t)
+	s.access(1, mem.Read, 0x4000)
+	s.quiesce(t)
+	// Core 1 upgrades its shared copy.
+	s.access(1, mem.Write, 0x4000)
+	s.quiesce(t)
+	if st := s.l1State(1, 0x4000); st != cache.Modified {
+		t.Fatalf("upgrader in %v, want M", st)
+	}
+	if st := s.l1State(0, 0x4000); st != cache.Invalid {
+		t.Fatalf("other sharer in %v, want I", st)
+	}
+}
+
+func TestWriteAfterExclusiveReadIsSilentUpgrade(t *testing.T) {
+	s := newTestSystem(t, 2, 1)
+	s.access(0, mem.Read, 0x5000)
+	s.quiesce(t)
+	before := s.reg.Sum("l1.0.misses")
+	s.access(0, mem.Write, 0x5000)
+	s.quiesce(t)
+	if st := s.l1State(0, 0x5000); st != cache.Modified {
+		t.Fatalf("state %v, want M after silent upgrade", st)
+	}
+	if after := s.reg.Sum("l1.0.misses"); after != before {
+		t.Fatalf("silent E->M upgrade should not miss (misses %d -> %d)", before, after)
+	}
+}
+
+func TestAtomicRMWBehavesAsWrite(t *testing.T) {
+	s := newTestSystem(t, 2, 1)
+	s.access(0, mem.Read, 0x6000)
+	s.quiesce(t)
+	s.access(1, mem.ReadModifyWrite, 0x6000)
+	s.quiesce(t)
+	if st := s.l1State(1, 0x6000); st != cache.Modified {
+		t.Fatalf("atomic requester in %v, want M", st)
+	}
+	if st := s.l1State(0, 0x6000); st != cache.Invalid {
+		t.Fatalf("previous holder in %v, want I", st)
+	}
+}
+
+func TestMigratorySharing(t *testing.T) {
+	// A line written by core 0, then 1, then 2 migrates; exactly one writer
+	// at any time and the final directory owner is core 2.
+	s := newTestSystem(t, 3, 2)
+	for core := 0; core < 3; core++ {
+		s.access(core, mem.Write, 0x7000)
+		s.quiesce(t)
+	}
+	for core := 0; core < 2; core++ {
+		if st := s.l1State(core, 0x7000); st != cache.Invalid {
+			t.Fatalf("core %d in %v, want I", core, st)
+		}
+	}
+	if st := s.l1State(2, 0x7000); st != cache.Modified {
+		t.Fatalf("core 2 in %v, want M", st)
+	}
+}
+
+func TestDirtyEvictionWritesBackToL2NotDRAM(t *testing.T) {
+	s := newTestSystem(t, 1, 1)
+	// The test L1 is 4 KB, 4-way, 16 sets: lines 0, 16, 32, ... map to set 0.
+	setStride := mem.PAddr(16 * mem.LineSize)
+	base := mem.PAddr(0x10000)
+	for i := 0; i < 5; i++ {
+		s.access(0, mem.Write, base+mem.PAddr(i)*setStride)
+		s.quiesce(t)
+	}
+	// One line was evicted dirty; it must have been written back into the L2
+	// (PutM) without a DRAM write (the L2 absorbs it).
+	if got := s.reg.Sum("l1.0.evictions_dirty"); got != 1 {
+		t.Fatalf("dirty evictions = %d, want 1", got)
+	}
+	if w := s.memory.Writes(); w != 0 {
+		t.Fatalf("DRAM writes = %d, want 0 (L2 absorbs the writeback)", w)
+	}
+	// Re-reading the evicted line must return it from the L2, not DRAM.
+	reads := s.memory.Reads()
+	s.access(0, mem.Read, base)
+	s.quiesce(t)
+	if s.memory.Reads() != reads {
+		t.Fatalf("re-read of written-back line went to DRAM")
+	}
+}
+
+func TestReadAfterRemoteEvictionStillWorks(t *testing.T) {
+	s := newTestSystem(t, 2, 1)
+	setStride := mem.PAddr(16 * mem.LineSize)
+	base := mem.PAddr(0x20000)
+	// Core 0 dirties a line, then evicts it by filling the set.
+	s.access(0, mem.Write, base)
+	s.quiesce(t)
+	for i := 1; i <= 4; i++ {
+		s.access(0, mem.Write, base+mem.PAddr(i)*setStride)
+		s.quiesce(t)
+	}
+	// Core 1 reads the original line; it must complete and become readable.
+	done := s.access(1, mem.Read, base)
+	s.quiesce(t)
+	if !*done {
+		t.Fatal("read after remote eviction did not complete")
+	}
+	if st := s.l1State(1, base); !st.CanRead() {
+		t.Fatalf("reader in %v, want a readable state", st)
+	}
+}
+
+func TestFlushWritesEverythingBack(t *testing.T) {
+	s := newTestSystem(t, 1, 1)
+	for i := 0; i < 8; i++ {
+		s.access(0, mem.Write, mem.PAddr(0x30000+i*mem.LineSize))
+	}
+	s.quiesce(t)
+	s.l1s[0].Flush()
+	s.quiesce(t)
+	if occ := s.l1s[0].Array().Occupancy(); occ != 0 {
+		t.Fatalf("occupancy after flush = %d, want 0", occ)
+	}
+	st, _, _ := s.dirState(0x30000)
+	if st != DirInvalid {
+		t.Fatalf("directory state after flush = %v, want Dir-I", st)
+	}
+}
+
+func TestMSHRCoalescingSameLine(t *testing.T) {
+	s := newTestSystem(t, 1, 1)
+	// Two reads to the same line issued back to back: one miss, both complete.
+	d1 := s.access(0, mem.Read, 0x9000)
+	d2 := s.access(0, mem.Read, 0x9008)
+	s.quiesce(t)
+	if !*d1 || !*d2 {
+		t.Fatal("coalesced reads did not both complete")
+	}
+	if m := s.reg.Sum("l1.0.misses"); m != 1 {
+		t.Fatalf("misses = %d, want 1 (coalesced)", m)
+	}
+}
+
+func TestWriteCoalescedBehindReadUpgrades(t *testing.T) {
+	s := newTestSystem(t, 2, 1)
+	// Another core holds the line S so that our read is granted S (not E),
+	// forcing the coalesced write to upgrade afterwards.
+	s.access(1, mem.Read, 0xa000)
+	s.quiesce(t)
+	s.access(1, mem.Read, 0xa000) // keep it S at core 1
+	d1 := s.access(0, mem.Read, 0xa000)
+	d2 := s.access(0, mem.Write, 0xa008)
+	s.quiesce(t)
+	if !*d1 || !*d2 {
+		t.Fatal("read+write to same line did not complete")
+	}
+	if st := s.l1State(0, 0xa000); st != cache.Modified {
+		t.Fatalf("final state %v, want M", st)
+	}
+}
+
+// TestRandomStress drives several cores with random traffic over a small set
+// of lines (maximizing conflicts) and checks that every access completes,
+// every controller quiesces, and SWMR is never violated.
+func TestRandomStress(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runRandomStress(t, seed, 6, 4, 2000)
+		})
+	}
+}
+
+func runRandomStress(t *testing.T, seed int64, cores, banks, ops int) {
+	rng := rand.New(rand.NewSource(seed))
+	s := newTestSystem(t, cores, banks)
+
+	// 24 distinct lines, several of which collide in the same L1 set.
+	lines := make([]mem.PAddr, 24)
+	for i := range lines {
+		lines[i] = mem.PAddr(0x100000 + i*mem.LineSize*3)
+	}
+
+	completed := 0
+	var issue func(core int, remaining int)
+	issue = func(core int, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		addr := lines[rng.Intn(len(lines))] + mem.PAddr(rng.Intn(7)*8)
+		var typ mem.AccessType
+		switch rng.Intn(3) {
+		case 0:
+			typ = mem.Read
+		case 1:
+			typ = mem.Write
+		default:
+			typ = mem.ReadModifyWrite
+		}
+		delay := sim.Duration(rng.Intn(2000)) * sim.Picosecond
+		s.engine.Schedule(delay, func() {
+			s.l1s[core].Access(mem.Request{Type: typ, Addr: addr, Size: 8}, func() {
+				completed++
+				issue(core, remaining-1)
+			})
+		})
+	}
+	perCore := ops / cores
+	for c := 0; c < cores; c++ {
+		issue(c, perCore)
+	}
+	s.quiesce(t)
+	if completed != perCore*cores {
+		t.Fatalf("completed %d accesses, want %d", completed, perCore*cores)
+	}
+}
+
+// TestRandomStressManyBanksFewLines pushes harder on directory blocking and
+// forwarding by using very few lines.
+func TestRandomStressFewLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := newTestSystem(t, 8, 4)
+	lines := []mem.PAddr{0x100000, 0x100040, 0x100080}
+	completed := 0
+	total := 0
+	var issue func(core, remaining int)
+	issue = func(core, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		addr := lines[rng.Intn(len(lines))]
+		typ := mem.Read
+		if rng.Intn(2) == 0 {
+			typ = mem.Write
+		}
+		s.engine.Schedule(sim.Duration(rng.Intn(500)), func() {
+			s.l1s[core].Access(mem.Request{Type: typ, Addr: addr, Size: 8}, func() {
+				completed++
+				issue(core, remaining-1)
+			})
+		})
+	}
+	for c := 0; c < 8; c++ {
+		issue(c, 150)
+		total += 150
+	}
+	s.quiesce(t)
+	if completed != total {
+		t.Fatalf("completed %d, want %d", completed, total)
+	}
+}
+
+func TestCheckerDetectsViolations(t *testing.T) {
+	c := NewChecker()
+	c.Record(0, 0x40, cache.Modified)
+	c.Record(1, 0x40, cache.Modified)
+	if c.Ok() {
+		t.Fatal("checker should flag two simultaneous writers")
+	}
+	c2 := NewChecker()
+	c2.Record(0, 0x40, cache.Modified)
+	c2.Record(1, 0x40, cache.Shared)
+	if c2.Ok() {
+		t.Fatal("checker should flag writer+reader")
+	}
+	c3 := NewChecker()
+	c3.Record(0, 0x40, cache.Shared)
+	c3.Record(1, 0x40, cache.Shared)
+	c3.Record(0, 0x40, cache.Invalid)
+	if !c3.Ok() {
+		t.Fatalf("legal sharing flagged: %v", c3.Violations)
+	}
+	if len(c3.Holders(0x40)) != 1 {
+		t.Fatal("holder bookkeeping wrong")
+	}
+}
+
+func TestInterleaveBanks(t *testing.T) {
+	banks := []noc.NodeID{10, 11, 12, 13}
+	mapper := InterleaveBanks(banks)
+	counts := make(map[noc.NodeID]int)
+	for i := 0; i < 400; i++ {
+		counts[mapper(mem.LineAddr(i))]++
+	}
+	for _, b := range banks {
+		if counts[b] != 100 {
+			t.Fatalf("bank %d got %d lines, want 100", b, counts[b])
+		}
+	}
+	if mapper(0) != mapper(4) || mapper(0) == mapper(1) {
+		t.Fatal("interleaving pattern wrong")
+	}
+}

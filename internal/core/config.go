@@ -1,0 +1,163 @@
+// Package core assembles the paper's primary contribution: the CCSVM chip —
+// CPU cores and MTTOP cores tightly coupled through cache-coherent shared
+// virtual memory over a 2D torus, with a banked shared L2/directory, private
+// TLBs and page-table walkers at every core, and the MIFD task-launch path —
+// and runs xthreads programs on it.
+package core
+
+import (
+	"ccsvm/internal/cache"
+	"ccsvm/internal/dram"
+	"ccsvm/internal/kernelos"
+	"ccsvm/internal/mifd"
+	"ccsvm/internal/sim"
+	"ccsvm/internal/vm"
+)
+
+// Config is the CCSVM system configuration. DefaultConfig reproduces the
+// simulated system column of Table 2.
+type Config struct {
+	// NumCPUs is the number of CPU cores.
+	NumCPUs int
+	// NumMTTOPs is the number of MTTOP cores.
+	NumMTTOPs int
+
+	// CPUClockHz and MTTOPClockHz are the two clock domains.
+	CPUClockHz   float64
+	MTTOPClockHz float64
+	// CPUCPI is the CPU's cycles per instruction (2.0 => max IPC 0.5).
+	CPUCPI float64
+
+	// MTTOPContexts is the number of hardware thread contexts per MTTOP core.
+	MTTOPContexts int
+	// MTTOPIssueWidth is the per-core issue width (simultaneous threads).
+	MTTOPIssueWidth int
+
+	// CPUL1 and MTTOPL1 are the private cache geometries.
+	CPUL1   cache.Config
+	MTTOPL1 cache.Config
+	// CPUL1Hit and MTTOPL1Hit are the L1 hit latencies.
+	CPUL1Hit   sim.Duration
+	MTTOPL1Hit sim.Duration
+
+	// L2Banks is the number of shared L2/directory banks.
+	L2Banks int
+	// L2BankBytes is the capacity of each bank.
+	L2BankBytes int
+	// L2Assoc is the L2 associativity.
+	L2Assoc int
+	// L2Latency is the L2/directory access latency.
+	L2Latency sim.Duration
+
+	// TLBEntries is the per-core TLB capacity.
+	TLBEntries int
+
+	// Torus configures the on-chip network; Width/Height of zero means "size
+	// to the node count automatically".
+	Torus struct {
+		Width, Height int
+		LinkBandwidth float64
+	}
+
+	// DRAM is the off-chip memory configuration.
+	DRAM dram.Config
+	// MIFD is the MTTOP interface device configuration.
+	MIFD mifd.Config
+	// KernelCosts are the OS service costs.
+	KernelCosts kernelos.Costs
+	// MaxSimulatedTime bounds a program run; exceeding it is reported as a
+	// hang (a safety net for buggy workloads that spin forever).
+	MaxSimulatedTime sim.Duration
+}
+
+// DefaultConfig returns the Table 2 CCSVM system: 4 in-order x86 CPU cores at
+// 2.9 GHz with max IPC 0.5, 10 MTTOP cores at 600 MHz with 128 thread
+// contexts and 8-wide issue (80 ops/cycle chip-wide), 64 KB / 16 KB 4-way
+// write-back L1s, a 4 MB inclusive shared L2 in 4 banks with the embedded
+// MOESI directory, 64-entry TLBs, a 2D torus with 12 GB/s links, and 2 GB of
+// DRAM at 100 ns.
+func DefaultConfig() Config {
+	cfg := Config{
+		NumCPUs:         4,
+		NumMTTOPs:       10,
+		CPUClockHz:      2.9e9,
+		MTTOPClockHz:    600e6,
+		CPUCPI:          2.0,
+		MTTOPContexts:   128,
+		MTTOPIssueWidth: 8,
+		CPUL1:           cache.Config{SizeBytes: 64 * 1024, Assoc: 4},
+		MTTOPL1:         cache.Config{SizeBytes: 16 * 1024, Assoc: 4},
+		L2Banks:         4,
+		L2BankBytes:     1 << 20,
+		L2Assoc:         16,
+		TLBEntries:      64,
+		DRAM:            dram.DefaultCCSVMConfig(),
+		MIFD:            mifd.DefaultConfig(),
+		KernelCosts:     kernelos.DefaultCosts(),
+	}
+	cpuClock := sim.NewClock("cpu", cfg.CPUClockHz)
+	mttopClock := sim.NewClock("mttop", cfg.MTTOPClockHz)
+	// Table 2: 2-cycle CPU L1 hits, 1-cycle MTTOP L1 hits, and an L2 that is
+	// 10 CPU cycles / 2 MTTOP cycles away (~3.4 ns either way).
+	cfg.CPUL1Hit = cpuClock.Cycles(2)
+	cfg.MTTOPL1Hit = mttopClock.Cycles(1)
+	cfg.L2Latency = cpuClock.Cycles(10)
+	cfg.Torus.LinkBandwidth = 12e9
+	cfg.MaxSimulatedTime = 20 * sim.Second
+	return cfg
+}
+
+// SmallConfig returns a scaled-down chip (2 CPU cores, 4 MTTOP cores with 32
+// contexts each) that unit and integration tests use to keep host runtimes
+// short while exercising every mechanism.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 2
+	cfg.NumMTTOPs = 4
+	cfg.MTTOPContexts = 32
+	cfg.MTTOPL1 = cache.Config{SizeBytes: 8 * 1024, Assoc: 4}
+	cfg.CPUL1 = cache.Config{SizeBytes: 16 * 1024, Assoc: 4}
+	cfg.L2Banks = 2
+	cfg.L2BankBytes = 256 * 1024
+	return cfg
+}
+
+// TotalMTTOPThreadContexts reports the chip-wide hardware thread capacity.
+func (c Config) TotalMTTOPThreadContexts() int { return c.NumMTTOPs * c.MTTOPContexts }
+
+// PeakMTTOPOpsPerCycle reports the chip-wide peak MTTOP throughput
+// (80 operations per cycle for the Table 2 configuration).
+func (c Config) PeakMTTOPOpsPerCycle() int { return c.NumMTTOPs * c.MTTOPIssueWidth }
+
+// Validate checks the configuration for structural problems.
+func (c Config) Validate() error {
+	checks := []struct {
+		ok   bool
+		name string
+	}{
+		{c.NumCPUs > 0, "NumCPUs"},
+		{c.NumMTTOPs > 0, "NumMTTOPs"},
+		{c.L2Banks > 0, "L2Banks"},
+		{c.MTTOPContexts > 0, "MTTOPContexts"},
+		{c.MTTOPIssueWidth > 0, "MTTOPIssueWidth"},
+		{c.TLBEntries > 0, "TLBEntries"},
+		{c.DRAM.SizeBytes > 0, "DRAM.SizeBytes"},
+	}
+	for _, chk := range checks {
+		if !chk.ok {
+			return &ConfigError{Field: chk.name}
+		}
+	}
+	return nil
+}
+
+// ConfigError reports an invalid configuration field.
+type ConfigError struct{ Field string }
+
+// Error implements error.
+func (e *ConfigError) Error() string { return "core: invalid configuration field " + e.Field }
+
+// tlbConfig builds the per-core TLB configuration.
+func (c Config) tlbConfig(name string) vm.TLBConfig {
+	return vm.TLBConfig{Entries: c.TLBEntries, Name: name}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ccsvm/internal/cache"
+	"ccsvm/internal/coherence"
+	"ccsvm/internal/cpu"
+	"ccsvm/internal/dram"
+	"ccsvm/internal/kernelos"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/mifd"
+	"ccsvm/internal/mttop"
+	"ccsvm/internal/noc"
+	"ccsvm/internal/sim"
+	"ccsvm/internal/stats"
+	"ccsvm/internal/vm"
+	"ccsvm/internal/xthreads"
+)
+
+// Machine is one instance of the CCSVM chip plus its software environment
+// (kernel, process, xthreads runtime). Build it with NewMachine, register
+// MTTOP kernels, then RunProgram an xthreads main function.
+type Machine struct {
+	Config  Config
+	Engine  *sim.Engine
+	Stats   *stats.Registry
+	Phys    *mem.Physical
+	Kernel  *kernelos.Kernel
+	Process *kernelos.Process
+	Runtime *xthreads.Runtime
+	MIFD    *mifd.Device
+	DRAM    *dram.Controller
+	Checker *coherence.Checker
+
+	CPUs   []*cpu.Core
+	MTTOPs []*mttop.Core
+
+	l1s   []*coherence.L1Controller
+	banks []*coherence.DirectoryBank
+	torus *noc.Torus
+}
+
+// NewMachine builds and wires a CCSVM chip from the configuration.
+func NewMachine(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		Config: cfg,
+		Engine: sim.NewEngine(),
+		Stats:  stats.NewRegistry("ccsvm"),
+	}
+	m.Phys = mem.NewPhysical(cfg.DRAM.SizeBytes)
+	m.Checker = coherence.NewChecker()
+	m.DRAM = dram.NewController(m.Engine, cfg.DRAM, m.Stats, "dram")
+
+	cpuClock := sim.NewClock("cpu", cfg.CPUClockHz)
+	mttopClock := sim.NewClock("mttop", cfg.MTTOPClockHz)
+
+	// Node numbering on the torus: CPUs, then MTTOPs, then L2/dir banks.
+	numNodes := cfg.NumCPUs + cfg.NumMTTOPs + cfg.L2Banks
+	width, height := cfg.Torus.Width, cfg.Torus.Height
+	if width == 0 || height == 0 {
+		width = int(math.Ceil(math.Sqrt(float64(numNodes))))
+		height = (numNodes + width - 1) / width
+	}
+	placement := make(map[noc.NodeID]noc.Coord, numNodes)
+	for i := 0; i < numNodes; i++ {
+		placement[noc.NodeID(i)] = noc.Coord{X: i % width, Y: i / width}
+	}
+	torusCfg := noc.DefaultTorusConfig(width, height)
+	if cfg.Torus.LinkBandwidth > 0 {
+		torusCfg.LinkBandwidth = cfg.Torus.LinkBandwidth
+	}
+	m.torus = noc.NewTorus(m.Engine, torusCfg, placement, m.Stats)
+
+	// L2/directory banks.
+	bankIDs := make([]noc.NodeID, cfg.L2Banks)
+	for i := range bankIDs {
+		bankIDs[i] = noc.NodeID(cfg.NumCPUs + cfg.NumMTTOPs + i)
+	}
+	mapper := coherence.InterleaveBanks(bankIDs)
+	for i, id := range bankIDs {
+		bank := coherence.NewDirectoryBank(m.Engine, id, m.torus, coherence.BankConfig{
+			L2:            cache.Config{SizeBytes: cfg.L2BankBytes, Assoc: cfg.L2Assoc, Name: fmt.Sprintf("l2.%d", i)},
+			AccessLatency: cfg.L2Latency,
+			Name:          fmt.Sprintf("l2.%d", i),
+		}, m.DRAM, m.Stats)
+		m.banks = append(m.banks, bank)
+	}
+
+	// Kernel and process.
+	m.Kernel = kernelos.NewKernel(m.Phys, 16, cfg.KernelCosts, m.Stats)
+	m.Process = m.Kernel.NewProcess()
+	m.Runtime = xthreads.NewRuntime(m.Process, m.Engine.Now)
+
+	// MIFD.
+	m.MIFD = mifd.NewDevice(m.Engine, cfg.MIFD, m.Stats)
+	m.MIFD.SetThreadFactory(m.Runtime.NewMTTOPThread)
+
+	// CPU cores with their private L1s and MMUs.
+	for i := 0; i < cfg.NumCPUs; i++ {
+		name := fmt.Sprintf("cpu%d", i)
+		l1cfg := cfg.CPUL1
+		l1cfg.Name = name + ".l1"
+		l1 := coherence.NewL1Controller(m.Engine, noc.NodeID(i), m.torus, mapper, coherence.L1Config{
+			Cache:      l1cfg,
+			HitLatency: cfg.CPUL1Hit,
+			Name:       name + ".l1",
+		}, m.Checker, m.Stats)
+		m.l1s = append(m.l1s, l1)
+		mmu := vm.NewMMU(cfg.tlbConfig(name+".tlb"), l1, m.Phys, m.Stats)
+		core := cpu.New(m.Engine, cpu.Config{Clock: cpuClock, CPI: cfg.CPUCPI, Name: name}, l1, mmu, m.Phys, m.Kernel, m.Stats)
+		core.SetSyscallHandler(m.handleSyscall)
+		m.CPUs = append(m.CPUs, core)
+	}
+	m.MIFD.SetFaultCPU(m.CPUs[0])
+
+	// MTTOP cores with their private L1s and MMUs.
+	for i := 0; i < cfg.NumMTTOPs; i++ {
+		name := fmt.Sprintf("mttop%d", i)
+		node := noc.NodeID(cfg.NumCPUs + i)
+		l1cfg := cfg.MTTOPL1
+		l1cfg.Name = name + ".l1"
+		l1 := coherence.NewL1Controller(m.Engine, node, m.torus, mapper, coherence.L1Config{
+			Cache:      l1cfg,
+			HitLatency: cfg.MTTOPL1Hit,
+			Name:       name + ".l1",
+		}, m.Checker, m.Stats)
+		m.l1s = append(m.l1s, l1)
+		mmu := vm.NewMMU(cfg.tlbConfig(name+".tlb"), l1, m.Phys, m.Stats)
+		core := mttop.New(m.Engine, mttop.Config{
+			Clock:       mttopClock,
+			NumContexts: cfg.MTTOPContexts,
+			IssueWidth:  cfg.MTTOPIssueWidth,
+			Name:        name,
+		}, l1, mmu, m.Phys, m.MIFD, m.Stats)
+		m.MTTOPs = append(m.MTTOPs, core)
+		m.MIFD.AttachUnits(core)
+	}
+
+	// TLB shootdowns initiated by a CPU flush every MTTOP TLB via the MIFD.
+	m.Kernel.SetShootdownHook(m.MIFD.FlushAllTLBs)
+
+	// CPU cores run with the process's address space loaded.
+	for _, c := range m.CPUs {
+		c.MMU().SetRoot(m.Process.Root())
+	}
+	return m
+}
+
+// handleSyscall is the machine's OS syscall dispatcher; the MIFD driver's
+// write syscall is the only service xthreads programs need beyond what the
+// library does in user space.
+func (m *Machine) handleSyscall(core *cpu.Core, num int, args []uint64, done func(ret uint64)) {
+	switch num {
+	case xthreads.SysLaunchMTTOPTask:
+		if len(args) != 4 {
+			panic(fmt.Sprintf("core: launch syscall expects 4 args, got %d", len(args)))
+		}
+		task := mifd.TaskDescriptor{
+			KernelID: int(args[0]),
+			Args:     mem.VAddr(args[1]),
+			FirstTID: int(args[2]),
+			LastTID:  int(args[3]),
+			CR3:      core.MMU().Root(),
+		}
+		m.MIFD.Launch(task, func() { done(0) })
+	default:
+		panic(fmt.Sprintf("core: unknown syscall %d", num))
+	}
+}
+
+// RegisterKernel registers an MTTOP kernel and returns the ID that
+// CreateMThreads uses (the simulator's stand-in for the kernel's program
+// counter, resolved by the compilation toolchain in the paper).
+func (m *Machine) RegisterKernel(k xthreads.KernelFunc) int {
+	return m.Runtime.RegisterKernel(k)
+}
+
+// RunProgram executes an xthreads program: main runs as a software thread on
+// CPU core 0; the simulation advances until main has returned and the machine
+// has quiesced. It returns the simulated time consumed.
+func (m *Machine) RunProgram(main xthreads.MainFunc) (sim.Duration, error) {
+	start := m.Engine.Now()
+	deadline := start.Add(m.Config.MaxSimulatedTime)
+	mainDone := false
+	t := m.Runtime.NewCPUThread("main", main)
+	m.CPUs[0].Run(t, func() { mainDone = true })
+	for !mainDone {
+		if m.Engine.Now() > deadline {
+			m.Runtime.KillAll()
+			return 0, fmt.Errorf("core: program exceeded the %v simulated-time budget (likely a synchronization hang)", m.Config.MaxSimulatedTime)
+		}
+		if !m.Engine.Step() {
+			m.Runtime.KillAll()
+			return 0, fmt.Errorf("core: simulation ran out of events before main returned")
+		}
+	}
+	// Drain any remaining activity (MTTOP threads that main did not wait for,
+	// in-flight writebacks, etc.).
+	for m.Engine.Step() {
+		if m.Engine.Now() > deadline {
+			m.Runtime.KillAll()
+			return 0, fmt.Errorf("core: post-main activity exceeded the simulated-time budget")
+		}
+	}
+	if !m.Checker.Ok() {
+		return 0, fmt.Errorf("core: coherence invariant violated: %v", m.Checker.Violations[0])
+	}
+	return m.Engine.Now().Sub(start), nil
+}
+
+// Shutdown tears down any software threads that are still running (used by
+// tests and by callers that abandon a machine mid-run).
+func (m *Machine) Shutdown() {
+	m.Runtime.KillAll()
+}
+
+// Now reports the machine's current simulated time.
+func (m *Machine) Now() sim.Time { return m.Engine.Now() }
+
+// DRAMAccesses reports the machine's off-chip access count (Figure 9's
+// metric).
+func (m *Machine) DRAMAccesses() uint64 { return m.DRAM.Accesses() }
+
+// MemWriteUint32 functionally initializes process memory before (or between)
+// simulated regions; the loader uses it to place workload inputs, standing in
+// for data that a real run would have produced earlier.
+func (m *Machine) MemWriteUint32(va mem.VAddr, v uint32) {
+	m.Phys.WriteUint32(m.Process.TranslateFunctional(va), v)
+}
+
+// MemReadUint32 functionally reads process memory (used to check results).
+func (m *Machine) MemReadUint32(va mem.VAddr) uint32 {
+	return m.Phys.ReadUint32(m.Process.TranslateFunctional(va))
+}
+
+// MemWriteUint64 functionally writes a 64-bit value to process memory.
+func (m *Machine) MemWriteUint64(va mem.VAddr, v uint64) {
+	m.Phys.WriteUint64(m.Process.TranslateFunctional(va), v)
+}
+
+// MemReadUint64 functionally reads a 64-bit value from process memory.
+func (m *Machine) MemReadUint64(va mem.VAddr) uint64 {
+	return m.Phys.ReadUint64(m.Process.TranslateFunctional(va))
+}
+
+// MemWriteFloat64 functionally writes a float64 to process memory.
+func (m *Machine) MemWriteFloat64(va mem.VAddr, v float64) {
+	m.MemWriteUint64(va, math.Float64bits(v))
+}
+
+// MemReadFloat64 functionally reads a float64 from process memory.
+func (m *Machine) MemReadFloat64(va mem.VAddr) float64 {
+	return math.Float64frombits(m.MemReadUint64(va))
+}
+
+// Alloc reserves heap space functionally (before simulation) and returns its
+// base; experiments use it to lay out inputs that the measured region then
+// consumes.
+func (m *Machine) Alloc(size uint64) mem.VAddr {
+	return m.Process.Sbrk(size)
+}

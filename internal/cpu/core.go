@@ -1,0 +1,325 @@
+// Package cpu models the general-purpose CPU cores of both simulated
+// machines. The CCSVM chip's CPU cores are in-order x86-like cores with a
+// maximum IPC of 0.5 (Table 2); the APU baseline's CPU cores reuse the same
+// model with an IPC of up to 4 and a private cache hierarchy. The core
+// executes software threads provided by the exec package, translates their
+// addresses through an optional MMU, services page faults through the kernel,
+// and accepts interrupts raised on behalf of MTTOP cores by the MIFD.
+package cpu
+
+import (
+	"fmt"
+
+	"ccsvm/internal/exec"
+	"ccsvm/internal/kernelos"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/sim"
+	"ccsvm/internal/stats"
+	"ccsvm/internal/vm"
+)
+
+// SyscallHandler services an OpSyscall: it may take simulated time and must
+// eventually call done with the syscall's return value.
+type SyscallHandler func(core *Core, num int, args []uint64, done func(ret uint64))
+
+// Interrupt is a unit of work raised on a core from the outside (the MIFD
+// forwarding an MTTOP page fault). The service function runs on the core
+// between instructions and must call done when finished.
+type Interrupt struct {
+	// Name describes the interrupt for traces.
+	Name string
+	// Service performs the work, possibly over simulated time.
+	Service func(done func())
+}
+
+// Config describes one CPU core.
+type Config struct {
+	// Clock is the core's clock domain (2.9 GHz for both machines).
+	Clock sim.Clock
+	// CPI is the average cycles per instruction for compute work
+	// (2.0 for the CCSVM chip's deliberately weak in-order cores,
+	// 0.25 for the APU's out-of-order cores).
+	CPI float64
+	// Name prefixes the core's statistics.
+	Name string
+}
+
+// Core is one CPU core.
+type Core struct {
+	engine *sim.Engine
+	cfg    Config
+	port   mem.Port
+	mmu    *vm.MMU
+	phys   *mem.Physical
+	kernel *kernelos.Kernel
+
+	syscall SyscallHandler
+
+	current    *exec.Thread
+	runQueue   []*exec.Thread
+	interrupts []Interrupt
+	busy       bool
+	// onExit callbacks fire when a thread finishes, keyed per thread start.
+	onExit map[*exec.Thread]func()
+
+	instrs     *stats.Counter
+	memOps     *stats.Counter
+	pageFaults *stats.Counter
+	intsTaken  *stats.Counter
+	busyTime   *stats.Counter
+	lastStart  sim.Time
+}
+
+// New builds a CPU core. The MMU may be nil, in which case virtual addresses
+// are used as physical addresses directly (the APU baseline machine, whose
+// address-translation behaviour is not part of the comparison, runs this
+// way).
+func New(engine *sim.Engine, cfg Config, port mem.Port, mmu *vm.MMU, phys *mem.Physical,
+	kernel *kernelos.Kernel, reg *stats.Registry) *Core {
+	c := &Core{
+		engine: engine,
+		cfg:    cfg,
+		port:   port,
+		mmu:    mmu,
+		phys:   phys,
+		kernel: kernel,
+		onExit: make(map[*exec.Thread]func()),
+	}
+	c.instrs = reg.Counter(cfg.Name + ".instructions")
+	c.memOps = reg.Counter(cfg.Name + ".mem_ops")
+	c.pageFaults = reg.Counter(cfg.Name + ".page_faults")
+	c.intsTaken = reg.Counter(cfg.Name + ".interrupts")
+	c.busyTime = reg.Counter(cfg.Name + ".busy_ps")
+	return c
+}
+
+// SetSyscallHandler installs the OS syscall dispatcher (the machine provides
+// it, wiring the MIFD driver's write syscall among others).
+func (c *Core) SetSyscallHandler(h SyscallHandler) { c.syscall = h }
+
+// MMU returns the core's MMU (nil on machines without address translation).
+func (c *Core) MMU() *vm.MMU { return c.mmu }
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Run starts (or queues) a software thread on this core. onExit, if non-nil,
+// runs when the thread's function returns.
+func (c *Core) Run(t *exec.Thread, onExit func()) {
+	t.Start()
+	if onExit != nil {
+		c.onExit[t] = onExit
+	}
+	if c.current == nil {
+		c.current = t
+		c.lastStart = c.engine.Now()
+	} else {
+		c.runQueue = append(c.runQueue, t)
+	}
+	c.step()
+}
+
+// RaiseInterrupt queues external work (such as an MTTOP page fault forwarded
+// by the MIFD) to run on this core between instructions.
+func (c *Core) RaiseInterrupt(i Interrupt) {
+	c.interrupts = append(c.interrupts, i)
+	c.step()
+}
+
+// Idle reports whether the core has no thread and no pending work.
+func (c *Core) Idle() bool {
+	return c.current == nil && len(c.runQueue) == 0 && len(c.interrupts) == 0 && !c.busy
+}
+
+// step advances the core: service one interrupt or execute the current
+// thread's next operation. It is a no-op while an operation is in flight.
+func (c *Core) step() {
+	if c.busy {
+		return
+	}
+	if len(c.interrupts) > 0 {
+		intr := c.interrupts[0]
+		c.interrupts = c.interrupts[1:]
+		c.intsTaken.Inc()
+		c.busy = true
+		intr.Service(func() {
+			c.busy = false
+			c.step()
+		})
+		return
+	}
+	if c.current == nil {
+		if len(c.runQueue) == 0 {
+			return
+		}
+		c.current = c.runQueue[0]
+		c.runQueue = c.runQueue[1:]
+		c.lastStart = c.engine.Now()
+	}
+	op, ok := c.current.Next()
+	if !ok {
+		c.finishThread()
+		return
+	}
+	c.busy = true
+	c.execute(op)
+}
+
+func (c *Core) finishThread() {
+	t := c.current
+	c.current = nil
+	c.busyTime.Add(uint64(c.engine.Now().Sub(c.lastStart)))
+	if err := t.Err(); err != nil {
+		panic(fmt.Sprintf("%s: workload thread %q failed: %v", c.cfg.Name, t.Name(), err))
+	}
+	if fn := c.onExit[t]; fn != nil {
+		delete(c.onExit, t)
+		fn()
+	}
+	c.step()
+}
+
+// computeDuration converts an instruction count into time on this core.
+func (c *Core) computeDuration(instrs int64) sim.Duration {
+	cycles := float64(instrs) * c.cfg.CPI
+	return sim.Duration(cycles*float64(c.cfg.Clock.Period) + 0.5)
+}
+
+func (c *Core) execute(op exec.Op) {
+	t := c.current
+	switch op.Kind {
+	case exec.OpCompute:
+		c.instrs.Add(uint64(op.Instrs))
+		c.engine.Schedule(c.computeDuration(op.Instrs), func() {
+			c.completeOp(t, exec.Result{})
+		})
+	case exec.OpLoad, exec.OpStore, exec.OpRMW:
+		c.memOps.Inc()
+		c.instrs.Inc()
+		c.memAccess(op, func(val uint64) {
+			c.completeOp(t, exec.Result{Value: val})
+		})
+	case exec.OpSyscall:
+		if c.syscall == nil {
+			panic(fmt.Sprintf("%s: syscall %d with no handler installed", c.cfg.Name, op.Syscall))
+		}
+		// Charge the kernel's syscall entry/exit cost, then dispatch.
+		c.engine.Schedule(c.computeDuration(c.kernel.Costs().SyscallInstrs), func() {
+			c.syscall(c, op.Syscall, op.Args, func(ret uint64) {
+				c.completeOp(t, exec.Result{Value: ret})
+			})
+		})
+	default:
+		panic(fmt.Sprintf("%s: unknown op kind %v", c.cfg.Name, op.Kind))
+	}
+}
+
+func (c *Core) completeOp(t *exec.Thread, r exec.Result) {
+	t.Complete(r)
+	c.busy = false
+	c.step()
+}
+
+// memAccess translates and performs one memory operation, handling page
+// faults locally (this is a CPU core: faults trap straight into the kernel).
+func (c *Core) memAccess(op exec.Op, done func(val uint64)) {
+	c.translate(op.Addr, op.Kind != exec.OpLoad, func(pa mem.PAddr) {
+		c.access(op, pa, done)
+	})
+}
+
+func (c *Core) translate(va mem.VAddr, write bool, use func(pa mem.PAddr)) {
+	if c.mmu == nil {
+		use(mem.PAddr(va))
+		return
+	}
+	c.mmu.Translate(va, write, func(pa mem.PAddr, fault *vm.Fault) {
+		if fault == nil {
+			use(pa)
+			return
+		}
+		c.ServicePageFault(fault, func() {
+			c.translate(va, write, use)
+		})
+	})
+}
+
+// ServicePageFault runs the kernel's demand-paging handler on this core:
+// it charges the trap cost, installs the mapping, replays the PTE store
+// through the cache hierarchy (so walkers and other cores see it coherently)
+// and then resumes the faulting access.
+func (c *Core) ServicePageFault(fault *vm.Fault, resume func()) {
+	c.pageFaults.Inc()
+	cost := c.computeDuration(c.kernel.Costs().PageFaultInstrs)
+	c.engine.Schedule(cost, func() {
+		pteAddr := c.kernel.HandlePageFault(fault)
+		c.port.Access(mem.Request{Type: mem.Write, Addr: pteAddr, Size: 8}, func() {
+			resume()
+		})
+	})
+}
+
+// access performs the timed cache access and the functional data movement at
+// completion time.
+func (c *Core) access(op exec.Op, pa mem.PAddr, done func(val uint64)) {
+	var typ mem.AccessType
+	switch op.Kind {
+	case exec.OpLoad:
+		typ = mem.Read
+	case exec.OpStore:
+		typ = mem.Write
+	case exec.OpRMW:
+		typ = mem.ReadModifyWrite
+	}
+	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: op.Size}, func() {
+		done(PerformFunctional(c.phys, op, pa))
+	})
+}
+
+// PerformFunctional applies the functional effect of a completed memory
+// operation against physical memory and returns the value the thread should
+// observe. It is shared by the CPU and MTTOP core models.
+func PerformFunctional(phys *mem.Physical, op exec.Op, pa mem.PAddr) uint64 {
+	switch op.Kind {
+	case exec.OpLoad:
+		return readSized(phys, pa, op.Size)
+	case exec.OpStore:
+		writeSized(phys, pa, op.Size, op.Value)
+		return 0
+	case exec.OpRMW:
+		old := readSized(phys, pa, op.Size)
+		writeSized(phys, pa, op.Size, op.Modify(old))
+		return old
+	default:
+		panic(fmt.Sprintf("cpu: functional perform of %v", op.Kind))
+	}
+}
+
+func readSized(phys *mem.Physical, pa mem.PAddr, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(phys.ReadUint8(pa))
+	case 4:
+		return uint64(phys.ReadUint32(pa))
+	case 8:
+		return phys.ReadUint64(pa)
+	default:
+		panic(fmt.Sprintf("cpu: unsupported access size %d", size))
+	}
+}
+
+func writeSized(phys *mem.Physical, pa mem.PAddr, size int, v uint64) {
+	switch size {
+	case 1:
+		phys.WriteUint8(pa, uint8(v))
+	case 4:
+		phys.WriteUint32(pa, uint32(v))
+	case 8:
+		phys.WriteUint64(pa, v)
+	default:
+		panic(fmt.Sprintf("cpu: unsupported access size %d", size))
+	}
+}
+
+// Instructions reports the number of instructions retired by this core.
+func (c *Core) Instructions() uint64 { return c.instrs.Value() }

@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"math"
+
+	"ccsvm/internal/mem"
+)
+
+// Context is the interface workload code uses to interact with the simulated
+// machine. Every method blocks (in host terms) until the simulated core has
+// performed the operation, so workload functions read like ordinary
+// sequential code while their memory behaviour is played out cycle by cycle
+// in the timing models.
+type Context struct {
+	thread *Thread
+}
+
+// do hands one operation to the core and waits for its completion.
+func (c *Context) do(op Op) Result {
+	t := c.thread
+	select {
+	case t.ops <- op:
+	case <-t.killed:
+		panic(killSignal{})
+	}
+	select {
+	case r := <-t.results:
+		return r
+	case <-t.killed:
+		panic(killSignal{})
+	}
+}
+
+// ThreadID reports the software thread's identifier (the xthreads tid).
+func (c *Context) ThreadID() int { return c.thread.id }
+
+// Compute charges n instructions of pure computation.
+func (c *Context) Compute(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.do(Op{Kind: OpCompute, Instrs: n})
+}
+
+// Load64 loads a 64-bit value.
+func (c *Context) Load64(va mem.VAddr) uint64 {
+	return c.do(Op{Kind: OpLoad, Addr: va, Size: 8}).Value
+}
+
+// Load32 loads a 32-bit value.
+func (c *Context) Load32(va mem.VAddr) uint32 {
+	return uint32(c.do(Op{Kind: OpLoad, Addr: va, Size: 4}).Value)
+}
+
+// Load8 loads a byte.
+func (c *Context) Load8(va mem.VAddr) uint8 {
+	return uint8(c.do(Op{Kind: OpLoad, Addr: va, Size: 1}).Value)
+}
+
+// Store64 stores a 64-bit value.
+func (c *Context) Store64(va mem.VAddr, v uint64) {
+	c.do(Op{Kind: OpStore, Addr: va, Size: 8, Value: v})
+}
+
+// Store32 stores a 32-bit value.
+func (c *Context) Store32(va mem.VAddr, v uint32) {
+	c.do(Op{Kind: OpStore, Addr: va, Size: 4, Value: uint64(v)})
+}
+
+// Store8 stores a byte.
+func (c *Context) Store8(va mem.VAddr, v uint8) {
+	c.do(Op{Kind: OpStore, Addr: va, Size: 1, Value: uint64(v)})
+}
+
+// LoadFloat64 loads an IEEE-754 double.
+func (c *Context) LoadFloat64(va mem.VAddr) float64 {
+	return math.Float64frombits(c.Load64(va))
+}
+
+// StoreFloat64 stores an IEEE-754 double.
+func (c *Context) StoreFloat64(va mem.VAddr, v float64) {
+	c.Store64(va, math.Float64bits(v))
+}
+
+// LoadFloat32 loads an IEEE-754 single.
+func (c *Context) LoadFloat32(va mem.VAddr) float32 {
+	return math.Float32frombits(c.Load32(va))
+}
+
+// StoreFloat32 stores an IEEE-754 single.
+func (c *Context) StoreFloat32(va mem.VAddr, v float32) {
+	c.Store32(va, math.Float32bits(v))
+}
+
+// AtomicAdd64 atomically adds delta to the 64-bit value at va and returns the
+// previous value (fetch-and-add).
+func (c *Context) AtomicAdd64(va mem.VAddr, delta uint64) uint64 {
+	return c.do(Op{Kind: OpRMW, Addr: va, Size: 8, Modify: func(old uint64) uint64 { return old + delta }}).Value
+}
+
+// AtomicAdd32 atomically adds delta to the 32-bit value at va and returns the
+// previous value.
+func (c *Context) AtomicAdd32(va mem.VAddr, delta uint32) uint32 {
+	return uint32(c.do(Op{Kind: OpRMW, Addr: va, Size: 4, Modify: func(old uint64) uint64 {
+		return uint64(uint32(old) + delta)
+	}}).Value)
+}
+
+// AtomicCAS32 atomically replaces the 32-bit value at va with new if it
+// equals old, reporting whether the swap happened.
+func (c *Context) AtomicCAS32(va mem.VAddr, old, new uint32) bool {
+	prev := uint32(c.do(Op{Kind: OpRMW, Addr: va, Size: 4, Modify: func(cur uint64) uint64 {
+		if uint32(cur) == old {
+			return uint64(new)
+		}
+		return cur
+	}}).Value)
+	return prev == old
+}
+
+// AtomicExchange32 atomically stores new at va and returns the previous
+// value.
+func (c *Context) AtomicExchange32(va mem.VAddr, new uint32) uint32 {
+	return uint32(c.do(Op{Kind: OpRMW, Addr: va, Size: 4, Modify: func(uint64) uint64 {
+		return uint64(new)
+	}}).Value)
+}
+
+// Syscall invokes an OS service (CPU cores only; MTTOP cores reject it, as
+// in the paper's design where MTTOP cores do not run the OS).
+func (c *Context) Syscall(num int, args ...uint64) uint64 {
+	return c.do(Op{Kind: OpSyscall, Syscall: num, Args: args}).Value
+}

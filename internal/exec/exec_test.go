@@ -1,0 +1,221 @@
+package exec
+
+import (
+	"testing"
+
+	"ccsvm/internal/mem"
+)
+
+// drive runs a thread to completion on the host side, answering every
+// operation with the given responder, and returns the ops seen.
+func drive(t *testing.T, th *Thread, respond func(Op) Result) []Op {
+	t.Helper()
+	th.Start()
+	var ops []Op
+	for {
+		op, ok := th.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+		th.Complete(respond(op))
+	}
+	if err := th.Err(); err != nil {
+		t.Fatalf("thread panicked: %v", err)
+	}
+	return ops
+}
+
+func TestThreadBasicOps(t *testing.T) {
+	var observed uint64
+	th := NewThread(7, "worker", func(ctx *Context) {
+		if ctx.ThreadID() != 7 {
+			t.Error("wrong thread id")
+		}
+		ctx.Compute(100)
+		ctx.Store32(0x1000, 42)
+		observed = uint64(ctx.Load32(0x1000))
+	})
+	ops := drive(t, th, func(op Op) Result {
+		if op.Kind == OpLoad {
+			return Result{Value: 42}
+		}
+		return Result{}
+	})
+	if len(ops) != 3 {
+		t.Fatalf("saw %d ops, want 3", len(ops))
+	}
+	if ops[0].Kind != OpCompute || ops[0].Instrs != 100 {
+		t.Fatalf("first op = %+v", ops[0])
+	}
+	if ops[1].Kind != OpStore || ops[1].Addr != 0x1000 || ops[1].Value != 42 || ops[1].Size != 4 {
+		t.Fatalf("second op = %+v", ops[1])
+	}
+	if ops[2].Kind != OpLoad {
+		t.Fatalf("third op = %+v", ops[2])
+	}
+	if observed != 42 {
+		t.Fatalf("thread observed %d", observed)
+	}
+	if !th.Finished() {
+		t.Fatal("thread not marked finished")
+	}
+}
+
+func TestContextTypedAccessors(t *testing.T) {
+	memory := map[mem.VAddr]uint64{}
+	th := NewThread(0, "typed", func(ctx *Context) {
+		ctx.Store64(0x10, 0xdeadbeef12345678)
+		ctx.Store8(0x20, 0xab)
+		ctx.StoreFloat64(0x30, 3.5)
+		ctx.StoreFloat32(0x40, 1.25)
+		if ctx.Load64(0x10) != 0xdeadbeef12345678 {
+			t.Error("Load64 wrong")
+		}
+		if ctx.Load8(0x20) != 0xab {
+			t.Error("Load8 wrong")
+		}
+		if ctx.LoadFloat64(0x30) != 3.5 {
+			t.Error("LoadFloat64 wrong")
+		}
+		if ctx.LoadFloat32(0x40) != 1.25 {
+			t.Error("LoadFloat32 wrong")
+		}
+	})
+	drive(t, th, func(op Op) Result {
+		switch op.Kind {
+		case OpStore:
+			memory[op.Addr] = op.Value
+			return Result{}
+		case OpLoad:
+			return Result{Value: memory[op.Addr]}
+		}
+		return Result{}
+	})
+}
+
+func TestContextAtomics(t *testing.T) {
+	val := uint64(10)
+	th := NewThread(0, "atomics", func(ctx *Context) {
+		if old := ctx.AtomicAdd64(0x100, 5); old != 10 {
+			t.Errorf("AtomicAdd64 old = %d", old)
+		}
+		if old := ctx.AtomicAdd32(0x100, 1); old != 15 {
+			t.Errorf("AtomicAdd32 old = %d", old)
+		}
+		if !ctx.AtomicCAS32(0x100, 16, 99) {
+			t.Error("CAS should succeed")
+		}
+		if ctx.AtomicCAS32(0x100, 16, 77) {
+			t.Error("CAS should fail")
+		}
+		if old := ctx.AtomicExchange32(0x100, 1); old != 99 {
+			t.Errorf("exchange old = %d", old)
+		}
+	})
+	drive(t, th, func(op Op) Result {
+		if op.Kind != OpRMW {
+			t.Fatalf("expected RMW, got %v", op.Kind)
+		}
+		old := val
+		val = op.Modify(old)
+		return Result{Value: old}
+	})
+}
+
+func TestContextSyscall(t *testing.T) {
+	th := NewThread(0, "sys", func(ctx *Context) {
+		if ret := ctx.Syscall(3, 1, 2); ret != 42 {
+			t.Errorf("syscall returned %d", ret)
+		}
+	})
+	ops := drive(t, th, func(op Op) Result {
+		if op.Kind == OpSyscall {
+			if op.Syscall != 3 || len(op.Args) != 2 {
+				t.Errorf("syscall op = %+v", op)
+			}
+			return Result{Value: 42}
+		}
+		return Result{}
+	})
+	if len(ops) != 1 {
+		t.Fatalf("saw %d ops", len(ops))
+	}
+}
+
+func TestComputeZeroIsFree(t *testing.T) {
+	th := NewThread(0, "zero", func(ctx *Context) {
+		ctx.Compute(0)
+		ctx.Compute(-5)
+	})
+	ops := drive(t, th, func(Op) Result { return Result{} })
+	if len(ops) != 0 {
+		t.Fatalf("zero/negative compute produced %d ops", len(ops))
+	}
+}
+
+func TestThreadPanicIsCaptured(t *testing.T) {
+	th := NewThread(0, "boom", func(ctx *Context) {
+		ctx.Compute(1)
+		panic("workload bug")
+	})
+	th.Start()
+	op, ok := th.Next()
+	if !ok || op.Kind != OpCompute {
+		t.Fatal("expected the compute op first")
+	}
+	th.Complete(Result{})
+	if _, ok := th.Next(); ok {
+		t.Fatal("panicked thread should be finished")
+	}
+	if th.Err() != "workload bug" {
+		t.Fatalf("Err() = %v", th.Err())
+	}
+}
+
+func TestThreadKill(t *testing.T) {
+	th := NewThread(0, "spin", func(ctx *Context) {
+		for {
+			ctx.Compute(10)
+		}
+	})
+	th.Start()
+	if _, ok := th.Next(); !ok {
+		t.Fatal("expected an op")
+	}
+	// The thread is now blocked waiting for completion; Kill must unwind it.
+	th.Kill()
+	if !th.Finished() {
+		t.Fatal("killed thread not finished")
+	}
+	if th.Err() != nil {
+		t.Fatalf("kill should not report an error, got %v", th.Err())
+	}
+	// Killing again is a no-op.
+	th.Kill()
+}
+
+func TestThreadDoubleStartPanics(t *testing.T) {
+	th := NewThread(0, "x", func(ctx *Context) {})
+	th.Start()
+	for {
+		if _, ok := th.Next(); !ok {
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double start")
+		}
+	}()
+	th.Start()
+}
+
+func TestOpKindString(t *testing.T) {
+	kinds := []OpKind{OpCompute, OpLoad, OpStore, OpRMW, OpSyscall}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+	}
+}

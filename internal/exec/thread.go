@@ -1,0 +1,189 @@
+// Package exec provides the execution-driven bridge between workload code
+// (ordinary Go functions) and the timing models of the simulated cores. Each
+// software thread runs in its own goroutine and communicates with the
+// single-threaded simulation engine through a strict, deterministic
+// handshake: the thread produces one operation at a time (a load, store,
+// atomic, compute delay, or syscall) and blocks until the core model reports
+// the operation complete at some simulated time.
+//
+// This is the same execution-driven style the paper's gem5 evaluation uses,
+// with Go functions standing in for the x86/Alpha-like binaries.
+package exec
+
+import (
+	"fmt"
+
+	"ccsvm/internal/mem"
+)
+
+// OpKind classifies an operation issued by a software thread.
+type OpKind uint8
+
+const (
+	// OpCompute advances time by a number of instructions with no memory
+	// access (the workload's arithmetic).
+	OpCompute OpKind = iota
+	// OpLoad reads Size bytes at Addr.
+	OpLoad
+	// OpStore writes Value (low Size bytes) at Addr.
+	OpStore
+	// OpRMW atomically applies Modify to the Size-byte value at Addr and
+	// returns the old value (fetch-and-op / compare-and-swap).
+	OpRMW
+	// OpSyscall invokes an OS service on a CPU core.
+	OpSyscall
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpRMW:
+		return "rmw"
+	case OpSyscall:
+		return "syscall"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one operation requested by a software thread.
+type Op struct {
+	Kind OpKind
+	// Addr and Size describe the virtual-memory footprint of memory ops.
+	Addr mem.VAddr
+	Size int
+	// Value is the store data.
+	Value uint64
+	// Modify is the read-modify-write function of an OpRMW, applied
+	// atomically by the core at completion time.
+	Modify func(old uint64) uint64
+	// Instrs is the instruction count of an OpCompute.
+	Instrs int64
+	// Syscall and Args describe an OpSyscall.
+	Syscall int
+	Args    []uint64
+}
+
+// Result is the completion value returned to the thread: the loaded value,
+// the pre-atomic value of an RMW, or a syscall's return value.
+type Result struct {
+	Value uint64
+}
+
+// killSignal is panicked inside a workload goroutine when the machine tears
+// the thread down before it finished.
+type killSignal struct{}
+
+// Thread is the host-side handle for one software thread.
+type Thread struct {
+	id   int
+	name string
+	fn   func(*Context)
+
+	ops      chan Op
+	results  chan Result
+	killed   chan struct{}
+	started  bool
+	finished bool
+	err      any
+}
+
+// NewThread creates a software thread that will run fn. The id is exposed to
+// the workload through Context.ThreadID.
+func NewThread(id int, name string, fn func(*Context)) *Thread {
+	return &Thread{
+		id:      id,
+		name:    name,
+		fn:      fn,
+		ops:     make(chan Op),
+		results: make(chan Result),
+		killed:  make(chan struct{}),
+	}
+}
+
+// ID reports the thread's identifier.
+func (t *Thread) ID() int { return t.id }
+
+// Name reports the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Start launches the workload goroutine. It must be called exactly once,
+// before the first Next.
+func (t *Thread) Start() {
+	if t.started {
+		panic("exec: thread started twice")
+	}
+	t.started = true
+	ctx := &Context{thread: t}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, wasKill := r.(killSignal); !wasKill {
+					t.err = r
+				}
+			}
+			close(t.ops)
+		}()
+		t.fn(ctx)
+	}()
+}
+
+// Next blocks the (host) caller until the thread produces its next operation.
+// It returns ok=false when the thread function has returned (or was killed),
+// after which the thread is finished.
+func (t *Thread) Next() (Op, bool) {
+	op, ok := <-t.ops
+	if !ok {
+		t.finished = true
+	}
+	return op, ok
+}
+
+// Complete delivers the result of the thread's outstanding operation and
+// unblocks it so it can compute its next operation.
+func (t *Thread) Complete(r Result) {
+	t.results <- r
+}
+
+// Kill tears the thread down: its next (or current) blocking call panics with
+// an internal signal that unwinds the workload goroutine. Safe to call on
+// finished threads.
+func (t *Thread) Kill() {
+	if t.finished {
+		return
+	}
+	select {
+	case <-t.killed:
+	default:
+		close(t.killed)
+	}
+	// Drain until the goroutine observes the kill and closes its op channel.
+	for {
+		_, ok := <-t.ops
+		if !ok {
+			t.finished = true
+			return
+		}
+		// The goroutine was blocked sending an op; answer it so it reaches
+		// the kill check.
+		select {
+		case t.results <- Result{}:
+		case <-t.ops:
+			t.finished = true
+			return
+		}
+	}
+}
+
+// Finished reports whether the thread function has returned.
+func (t *Thread) Finished() bool { return t.finished }
+
+// Err returns the panic value if the workload function panicked, or nil.
+// Machines re-panic this on the host side so workload bugs fail loudly.
+func (t *Thread) Err() any { return t.err }

@@ -1,0 +1,288 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (the experiment index E1–E8 in DESIGN.md). Each function
+// runs the relevant workloads on the relevant machines and returns a text
+// table with the same rows/series the paper reports; cmd/paper-figs prints
+// them and EXPERIMENTS.md records a captured run.
+package experiments
+
+import (
+	"fmt"
+
+	"ccsvm/internal/apu"
+	"ccsvm/internal/core"
+	"ccsvm/internal/stats"
+	"ccsvm/internal/workloads"
+)
+
+// Options selects the sweep sizes. Quick (the default) keeps every sweep
+// small enough to regenerate in a couple of minutes of host time; Full uses
+// larger problem sizes that take correspondingly longer but show the
+// crossovers more clearly.
+type Options struct {
+	Full bool
+	Seed int64
+}
+
+// DefaultOptions returns the quick sweep.
+func DefaultOptions() Options { return Options{Full: false, Seed: 42} }
+
+func (o Options) matmulSizes() []int {
+	if o.Full {
+		return []int{16, 32, 64, 128}
+	}
+	return []int{16, 32, 64}
+}
+
+func (o Options) apspSizes() []int {
+	if o.Full {
+		return []int{16, 32, 64}
+	}
+	return []int{12, 24, 40}
+}
+
+func (o Options) barnesHutSizes() []int {
+	if o.Full {
+		return []int{128, 256, 512}
+	}
+	return []int{64, 128, 256}
+}
+
+func (o Options) sparseSizes() []int {
+	if o.Full {
+		return []int{64, 128, 192}
+	}
+	return []int{48, 96}
+}
+
+func (o Options) sparseDensities() []float64 {
+	if o.Full {
+		return []float64{0.005, 0.01, 0.02, 0.04, 0.08}
+	}
+	return []float64{0.01, 0.02, 0.04}
+}
+
+func (o Options) sparseFixedSize() int {
+	if o.Full {
+		return 128
+	}
+	return 64
+}
+
+// ccsvmConfig is the Table 2 CCSVM chip.
+func ccsvmConfig() core.Config { return core.DefaultConfig() }
+
+// apuConfig is the Table 2 APU.
+func apuConfig() apu.Config { return apu.DefaultConfig() }
+
+// relative reports t as a multiple of the baseline.
+func relative(r, baseline workloads.Result) float64 {
+	if baseline.Time == 0 {
+		return 0
+	}
+	return float64(r.Time) / float64(baseline.Time)
+}
+
+// Table2 returns the system-configuration table (experiment E1).
+func Table2() *stats.Table {
+	c := ccsvmConfig()
+	a := apuConfig()
+	t := stats.NewTable("Table 2: system configurations", "Parameter", "CCSVM (simulated)", "APU (simulated baseline)")
+	t.AddRow("CPU cores", c.NumCPUs, a.NumCPUs)
+	t.AddRow("CPU max IPC", 1/c.CPUCPI, 1/a.CPUCPI)
+	t.AddRow("CPU clock (GHz)", c.CPUClockHz/1e9, a.CPUClockHz/1e9)
+	t.AddRow("MTTOP/GPU cores", c.NumMTTOPs, fmt.Sprintf("%d SIMD x %d VLIW", a.GPUSIMDUnits, a.GPULanes))
+	t.AddRow("MTTOP/GPU clock (MHz)", c.MTTOPClockHz/1e6, a.GPUClockHz/1e6)
+	t.AddRow("Peak throughput (ops/cycle)", c.PeakMTTOPOpsPerCycle(), a.GPUSIMDUnits*a.GPULanes*a.GPUVLIWOpsPerInstr)
+	t.AddRow("MTTOP thread contexts", c.TotalMTTOPThreadContexts(), a.GPUSIMDUnits*a.GPUContextsPerUnit)
+	t.AddRow("CPU L1 (KB)", c.CPUL1.SizeBytes/1024, a.CPUCaches.L1.SizeBytes/1024)
+	t.AddRow("MTTOP L1 (KB)", c.MTTOPL1.SizeBytes/1024, "32 KB local per SIMD")
+	t.AddRow("Shared L2", fmt.Sprintf("%d x %d KB (inclusive, dir)", c.L2Banks, c.L2BankBytes/1024), "1 MB private per CPU core")
+	t.AddRow("TLB entries/core", c.TLBEntries, "n/a (no shared VM)")
+	t.AddRow("Network", "2D torus, 12 GB/s links", "crossbar + DRAM staging")
+	t.AddRow("DRAM latency", c.DRAM.Latency.String(), a.DRAM.Latency.String())
+	return t
+}
+
+// Figure5 reproduces the dense matrix-multiply comparison: runtime of the APU
+// running OpenCL (full and without init/compile) and of CCSVM running
+// xthreads, relative to one APU CPU core, as a function of matrix size.
+func Figure5(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Figure 5: dense matrix multiply (runtime relative to one APU CPU core; lower is better)",
+		"N", "APU/OpenCL full", "APU/OpenCL no-init", "CCSVM/xthreads", "CPU baseline (us)")
+	for _, n := range o.matmulSizes() {
+		cpu, err := workloads.MatMulCPU(apuConfig(), n, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 cpu n=%d: %w", n, err)
+		}
+		full, err := workloads.MatMulOpenCL(apuConfig(), n, o.Seed, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 opencl-full n=%d: %w", n, err)
+		}
+		noInit, err := workloads.MatMulOpenCL(apuConfig(), n, o.Seed, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 opencl n=%d: %w", n, err)
+		}
+		ccsvm, err := workloads.MatMulXthreads(ccsvmConfig(), n, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 ccsvm n=%d: %w", n, err)
+		}
+		t.AddRow(n, relative(full, cpu), relative(noInit, cpu), relative(ccsvm, cpu),
+			float64(cpu.Time)/1e6)
+	}
+	return t, nil
+}
+
+// Figure6 reproduces the all-pairs-shortest-path comparison.
+func Figure6(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Figure 6: all-pairs shortest path (runtime relative to one APU CPU core; lower is better)",
+		"V", "APU/OpenCL full", "APU/OpenCL no-init", "CCSVM/xthreads", "CPU baseline (us)")
+	for _, n := range o.apspSizes() {
+		cpu, err := workloads.APSPCPU(apuConfig(), n, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 cpu v=%d: %w", n, err)
+		}
+		full, err := workloads.APSPOpenCL(apuConfig(), n, o.Seed, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 opencl-full v=%d: %w", n, err)
+		}
+		noInit, err := workloads.APSPOpenCL(apuConfig(), n, o.Seed, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 opencl v=%d: %w", n, err)
+		}
+		ccsvm, err := workloads.APSPXthreads(ccsvmConfig(), n, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 ccsvm v=%d: %w", n, err)
+		}
+		t.AddRow(n, relative(full, cpu), relative(noInit, cpu), relative(ccsvm, cpu),
+			float64(cpu.Time)/1e6)
+	}
+	return t, nil
+}
+
+// Figure7 reproduces the Barnes-Hut comparison: CCSVM/xthreads and pthreads
+// on the 4 APU CPU cores, both as speedup over one APU CPU core.
+func Figure7(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Figure 7: Barnes-Hut n-body (speedup over one APU CPU core; higher is better)",
+		"Bodies", "APU pthreads x4", "CCSVM/xthreads", "CPU baseline (us)")
+	for _, n := range o.barnesHutSizes() {
+		cpu, err := workloads.BarnesHutCPU(apuConfig(), n, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 cpu bodies=%d: %w", n, err)
+		}
+		pth, err := workloads.BarnesHutPthreads(apuConfig(), n, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 pthreads bodies=%d: %w", n, err)
+		}
+		ccsvm, err := workloads.BarnesHutXthreads(ccsvmConfig(), n, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 ccsvm bodies=%d: %w", n, err)
+		}
+		t.AddRow(n, pth.Speedup(cpu), ccsvm.Speedup(cpu), float64(cpu.Time)/1e6)
+	}
+	return t, nil
+}
+
+// Figure8Left reproduces the sparse matrix-multiply size sweep at fixed
+// density (speedup of CCSVM/xthreads over one APU CPU core).
+func Figure8Left(o Options) (*stats.Table, error) {
+	const density = 0.01
+	t := stats.NewTable("Figure 8 (left): sparse matmul, fixed 1% density (speedup over one APU CPU core)",
+		"N", "CCSVM/xthreads speedup", "CPU baseline (us)")
+	for _, n := range o.sparseSizes() {
+		cpu, err := workloads.SparseMMCPU(apuConfig(), n, density, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig8a cpu n=%d: %w", n, err)
+		}
+		ccsvm, err := workloads.SparseMMXthreads(ccsvmConfig(), n, density, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig8a ccsvm n=%d: %w", n, err)
+		}
+		t.AddRow(n, ccsvm.Speedup(cpu), float64(cpu.Time)/1e6)
+	}
+	return t, nil
+}
+
+// Figure8Right reproduces the sparse matrix-multiply density sweep at fixed
+// size.
+func Figure8Right(o Options) (*stats.Table, error) {
+	n := o.sparseFixedSize()
+	t := stats.NewTable(fmt.Sprintf("Figure 8 (right): sparse matmul, fixed N=%d (speedup over one APU CPU core)", n),
+		"Density %", "CCSVM/xthreads speedup", "CPU baseline (us)")
+	for _, d := range o.sparseDensities() {
+		cpu, err := workloads.SparseMMCPU(apuConfig(), n, d, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig8b cpu d=%v: %w", d, err)
+		}
+		ccsvm, err := workloads.SparseMMXthreads(ccsvmConfig(), n, d, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig8b ccsvm d=%v: %w", d, err)
+		}
+		t.AddRow(d*100, ccsvm.Speedup(cpu), float64(cpu.Time)/1e6)
+	}
+	return t, nil
+}
+
+// Figure9 reproduces the off-chip DRAM access comparison for dense matrix
+// multiply.
+func Figure9(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Figure 9: DRAM accesses for dense matrix multiply (lower is better)",
+		"N", "APU CPU core", "APU/OpenCL", "CCSVM/xthreads")
+	for _, n := range o.matmulSizes() {
+		cpu, err := workloads.MatMulCPU(apuConfig(), n, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 cpu n=%d: %w", n, err)
+		}
+		ocl, err := workloads.MatMulOpenCL(apuConfig(), n, o.Seed, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 opencl n=%d: %w", n, err)
+		}
+		ccsvm, err := workloads.MatMulXthreads(ccsvmConfig(), n, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 ccsvm n=%d: %w", n, err)
+		}
+		t.AddRow(n, cpu.DRAMAccesses, ocl.DRAMAccesses, ccsvm.DRAMAccesses)
+	}
+	return t, nil
+}
+
+// CodeComparison reproduces the qualitative Figure 3 vs Figure 4 point: the
+// cost of offloading a 256-element vector add through the full OpenCL stack
+// vs through xthreads.
+func CodeComparison(o Options) (*stats.Table, error) {
+	const n = 256
+	x, err := workloads.VectorAddXthreads(ccsvmConfig(), n, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	oclFull, err := workloads.VectorAddOpenCL(apuConfig(), n, o.Seed, true)
+	if err != nil {
+		return nil, err
+	}
+	oclNoInit, err := workloads.VectorAddOpenCL(apuConfig(), n, o.Seed, false)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figures 3/4: 256-element vector add, offload cost by programming model",
+		"System", "Offload time", "DRAM accesses")
+	t.AddRow(x.Label, x.Time.String(), x.DRAMAccesses)
+	t.AddRow(oclNoInit.Label, oclNoInit.Time.String(), oclNoInit.DRAMAccesses)
+	t.AddRow(oclFull.Label, oclFull.Time.String(), oclFull.DRAMAccesses)
+	return t, nil
+}
+
+// All runs every experiment in order and returns the tables.
+func All(o Options) ([]*stats.Table, error) {
+	var out []*stats.Table
+	out = append(out, Table2())
+	steps := []func(Options) (*stats.Table, error){
+		Figure5, Figure6, Figure7, Figure8Left, Figure8Right, Figure9, CodeComparison,
+	}
+	for _, step := range steps {
+		tb, err := step(o)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package mem
+
+import "fmt"
+
+// AccessType classifies a memory operation issued by a core or device.
+type AccessType uint8
+
+const (
+	// Read is an ordinary load.
+	Read AccessType = iota
+	// Write is an ordinary store.
+	Write
+	// ReadModifyWrite is an atomic operation (fetch-and-op / compare-and-swap)
+	// performed at the L1 after obtaining exclusive coherence permission, as
+	// specified in Section 3.2.4 of the paper.
+	ReadModifyWrite
+	// InstFetch is an instruction fetch (used for accounting only; the
+	// workloads in this repository charge fetches as compute cycles).
+	InstFetch
+)
+
+// String names the access type.
+func (t AccessType) String() string {
+	switch t {
+	case Read:
+		return "Read"
+	case Write:
+		return "Write"
+	case ReadModifyWrite:
+		return "RMW"
+	case InstFetch:
+		return "IFetch"
+	default:
+		return fmt.Sprintf("AccessType(%d)", uint8(t))
+	}
+}
+
+// NeedsExclusive reports whether the access requires write permission
+// (M state) in the cache.
+func (t AccessType) NeedsExclusive() bool {
+	return t == Write || t == ReadModifyWrite
+}
+
+// Request is a single memory access presented to a cache port. A request is
+// entirely contained within one cache line; larger accesses are split by the
+// issuing core.
+type Request struct {
+	// Type is the kind of access.
+	Type AccessType
+	// Addr is the physical byte address of the first byte accessed.
+	Addr PAddr
+	// Size is the number of bytes accessed (1..LineSize, not crossing a line).
+	Size int
+	// Requestor identifies the issuing port for stats and coherence
+	// bookkeeping (the node ID of the L1's core).
+	Requestor int
+}
+
+// Validate checks structural validity of the request.
+func (r *Request) Validate() error {
+	if r.Size <= 0 || r.Size > LineSize {
+		return fmt.Errorf("mem: request size %d out of range", r.Size)
+	}
+	if LineOf(r.Addr) != LineOf(r.Addr+PAddr(r.Size-1)) {
+		return fmt.Errorf("mem: request at %#x size %d crosses a cache line", uint64(r.Addr), r.Size)
+	}
+	return nil
+}
+
+// Line returns the cache line the request touches.
+func (r *Request) Line() LineAddr { return LineOf(r.Addr) }
+
+// String formats the request for traces.
+func (r *Request) String() string {
+	return fmt.Sprintf("%s@%#x+%d(req %d)", r.Type, uint64(r.Addr), r.Size, r.Requestor)
+}
+
+// Port is implemented by anything a core can issue memory requests to
+// (an L1 cache controller, or a simple latency pipe in the baseline models).
+// Access begins a request; done runs when the request completes, at the
+// completion time on the simulation clock.
+type Port interface {
+	Access(req Request, done func())
+}

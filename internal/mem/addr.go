@@ -1,0 +1,86 @@
+// Package mem defines the memory primitives shared by every model in the
+// repository: physical and virtual addresses, cache-line geometry, access
+// types, and a functional backing store for physical memory.
+//
+// The timing models (caches, directory, DRAM, TLBs) only track state and
+// latency; all data lives in a single functional Physical store per machine.
+// This is the same functional/timing split used by gem5's Ruby memory system,
+// which the paper's own evaluation is built on.
+package mem
+
+import "fmt"
+
+// PAddr is a physical byte address.
+type PAddr uint64
+
+// VAddr is a virtual byte address.
+type VAddr uint64
+
+// Standard geometry used throughout the simulated machines.
+const (
+	// LineSize is the cache line size in bytes for every cache level.
+	LineSize = 64
+	// LineShift is log2(LineSize).
+	LineShift = 6
+	// PageSize is the virtual-memory page size in bytes.
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+)
+
+// LineAddr identifies a cache line (a line-aligned physical address).
+type LineAddr uint64
+
+// LineOf returns the cache line containing the physical address.
+func LineOf(a PAddr) LineAddr { return LineAddr(a >> LineShift) }
+
+// Addr returns the first physical byte address of the line.
+func (l LineAddr) Addr() PAddr { return PAddr(l) << LineShift }
+
+// String formats the line address as the hex byte address of its first byte.
+func (l LineAddr) String() string { return fmt.Sprintf("line(%#x)", uint64(l.Addr())) }
+
+// PageNumber identifies a virtual page.
+type PageNumber uint64
+
+// FrameNumber identifies a physical page frame.
+type FrameNumber uint64
+
+// PageOf returns the virtual page containing the virtual address.
+func PageOf(v VAddr) PageNumber { return PageNumber(v >> PageShift) }
+
+// FrameOf returns the physical frame containing the physical address.
+func FrameOf(p PAddr) FrameNumber { return FrameNumber(p >> PageShift) }
+
+// Addr returns the first virtual byte address of the page.
+func (p PageNumber) Addr() VAddr { return VAddr(p) << PageShift }
+
+// Addr returns the first physical byte address of the frame.
+func (f FrameNumber) Addr() PAddr { return PAddr(f) << PageShift }
+
+// PageOffset returns the offset of the virtual address within its page.
+func PageOffset(v VAddr) uint64 { return uint64(v) & (PageSize - 1) }
+
+// LineOffset returns the offset of the physical address within its line.
+func LineOffset(a PAddr) uint64 { return uint64(a) & (LineSize - 1) }
+
+// Translate combines a frame with the page offset of a virtual address.
+func Translate(f FrameNumber, v VAddr) PAddr {
+	return f.Addr() + PAddr(PageOffset(v))
+}
+
+// AlignDown rounds a virtual address down to the given power-of-two alignment.
+func AlignDown(v VAddr, align uint64) VAddr {
+	return VAddr(uint64(v) &^ (align - 1))
+}
+
+// AlignUp rounds a virtual address up to the given power-of-two alignment.
+func AlignUp(v VAddr, align uint64) VAddr {
+	return VAddr((uint64(v) + align - 1) &^ (align - 1))
+}
+
+// SameLine reports whether two physical addresses fall in the same cache line.
+func SameLine(a, b PAddr) bool { return LineOf(a) == LineOf(b) }
+
+// SamePage reports whether two virtual addresses fall in the same page.
+func SamePage(a, b VAddr) bool { return PageOf(a) == PageOf(b) }

@@ -1,0 +1,166 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAndPageGeometry(t *testing.T) {
+	if LineSize != 1<<LineShift {
+		t.Fatalf("LineSize %d != 1<<LineShift %d", LineSize, 1<<LineShift)
+	}
+	if PageSize != 1<<PageShift {
+		t.Fatalf("PageSize %d != 1<<PageShift %d", PageSize, 1<<PageShift)
+	}
+	if LineOf(0x1000) != LineOf(0x103f) {
+		t.Fatal("addresses 0x1000 and 0x103f should share a line")
+	}
+	if LineOf(0x1000) == LineOf(0x1040) {
+		t.Fatal("addresses 0x1000 and 0x1040 should not share a line")
+	}
+	if got := LineOf(0x1234).Addr(); got != 0x1200 {
+		t.Fatalf("line base of 0x1234 = %#x, want 0x1200", uint64(got))
+	}
+	if PageOf(0x2000) != 2 {
+		t.Fatalf("PageOf(0x2000) = %d, want 2", PageOf(0x2000))
+	}
+	if got := Translate(3, VAddr(0x2abc)); got != PAddr(3*PageSize+0xabc) {
+		t.Fatalf("Translate = %#x", uint64(got))
+	}
+}
+
+func TestAlignHelpers(t *testing.T) {
+	if AlignDown(0x1234, 16) != 0x1230 {
+		t.Fatal("AlignDown")
+	}
+	if AlignUp(0x1234, 16) != 0x1240 {
+		t.Fatal("AlignUp")
+	}
+	if AlignUp(0x1240, 16) != 0x1240 {
+		t.Fatal("AlignUp of aligned value should be identity")
+	}
+}
+
+// Property: for any virtual address, translating through a frame preserves
+// the page offset and lands in that frame.
+func TestTranslateProperty(t *testing.T) {
+	f := func(frame uint32, va uint64) bool {
+		fr := FrameNumber(frame)
+		v := VAddr(va)
+		p := Translate(fr, v)
+		return PageOffset(v) == uint64(p)&(PageSize-1) && FrameOf(p) == fr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	ok := Request{Type: Read, Addr: 0x100, Size: 8}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	crossing := Request{Type: Read, Addr: 0x13c, Size: 8}
+	if err := crossing.Validate(); err == nil {
+		t.Fatal("line-crossing request accepted")
+	}
+	empty := Request{Type: Read, Addr: 0x100, Size: 0}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("zero-size request accepted")
+	}
+	huge := Request{Type: Read, Addr: 0x100, Size: LineSize + 1}
+	if err := huge.Validate(); err == nil {
+		t.Fatal("oversized request accepted")
+	}
+}
+
+func TestAccessTypeHelpers(t *testing.T) {
+	if Read.NeedsExclusive() || InstFetch.NeedsExclusive() {
+		t.Fatal("reads should not need exclusive permission")
+	}
+	if !Write.NeedsExclusive() || !ReadModifyWrite.NeedsExclusive() {
+		t.Fatal("writes and RMWs need exclusive permission")
+	}
+	for _, tt := range []AccessType{Read, Write, ReadModifyWrite, InstFetch} {
+		if tt.String() == "" {
+			t.Fatal("empty access type name")
+		}
+	}
+}
+
+func TestPhysicalReadWrite(t *testing.T) {
+	p := NewPhysical(1 << 20)
+	p.WriteUint64(0x100, 0xdeadbeefcafef00d)
+	if got := p.ReadUint64(0x100); got != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadUint64 = %#x", got)
+	}
+	p.WriteUint32(0x200, 0x12345678)
+	if got := p.ReadUint32(0x200); got != 0x12345678 {
+		t.Fatalf("ReadUint32 = %#x", got)
+	}
+	p.WriteUint8(0x300, 0xab)
+	if got := p.ReadUint8(0x300); got != 0xab {
+		t.Fatalf("ReadUint8 = %#x", got)
+	}
+	// Cross-page write/read round trip.
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	p.WriteBytes(PAddr(PageSize-50), buf)
+	out := make([]byte, 100)
+	p.ReadBytes(PAddr(PageSize-50), out)
+	for i := range buf {
+		if out[i] != buf[i] {
+			t.Fatalf("cross-page byte %d = %d, want %d", i, out[i], buf[i])
+		}
+	}
+}
+
+func TestPhysicalLazyAllocationAndZero(t *testing.T) {
+	p := NewPhysical(1 << 30)
+	if p.TouchedFrames() != 0 {
+		t.Fatal("fresh memory should have no frames")
+	}
+	if got := p.ReadUint64(0x5000); got != 0 {
+		t.Fatalf("untouched memory reads %#x, want 0", got)
+	}
+	p.WriteUint64(0x5000, 7)
+	if p.TouchedFrames() == 0 {
+		t.Fatal("write did not materialize a frame")
+	}
+	p.ZeroFrame(FrameOf(0x5000))
+	if got := p.ReadUint64(0x5000); got != 0 {
+		t.Fatalf("after ZeroFrame read %#x, want 0", got)
+	}
+}
+
+func TestPhysicalOutOfRangePanics(t *testing.T) {
+	p := NewPhysical(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range access")
+		}
+	}()
+	p.WriteUint8(PAddr(1<<13), 1)
+}
+
+// Property: independent 64-bit writes to distinct aligned addresses are all
+// readable back.
+func TestPhysicalRoundTripProperty(t *testing.T) {
+	p := NewPhysical(1 << 24)
+	f := func(slots map[uint16]uint64) bool {
+		for slot, val := range slots {
+			p.WriteUint64(PAddr(slot)*8, val)
+		}
+		for slot, val := range slots {
+			if p.ReadUint64(PAddr(slot)*8) != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Physical is the functional backing store for a machine's physical memory.
+// Frames are allocated lazily, so sparse physical address spaces cost only
+// what they touch. All values are little-endian, matching x86.
+//
+// Physical is safe for concurrent use; the execution-driven workload
+// coroutines and the single-threaded event engine hand off cleanly, but the
+// lock keeps the store safe even under `go test -race` with misbehaving
+// tests.
+type Physical struct {
+	mu     sync.Mutex
+	frames map[FrameNumber][]byte
+	// size is the total bytes of installed DRAM; accesses beyond it panic,
+	// catching allocator bugs early.
+	size uint64
+}
+
+// NewPhysical creates a physical memory of the given size in bytes.
+func NewPhysical(size uint64) *Physical {
+	return &Physical{frames: make(map[FrameNumber][]byte), size: size}
+}
+
+// Size reports the installed capacity in bytes.
+func (p *Physical) Size() uint64 { return p.size }
+
+func (p *Physical) frame(f FrameNumber) []byte {
+	if uint64(f.Addr()) >= p.size {
+		panic(fmt.Sprintf("mem: physical access beyond installed DRAM: frame %#x, size %#x", uint64(f), p.size))
+	}
+	fr, ok := p.frames[f]
+	if !ok {
+		fr = make([]byte, PageSize)
+		p.frames[f] = fr
+	}
+	return fr
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (p *Physical) ReadBytes(addr PAddr, dst []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(dst) > 0 {
+		f := FrameOf(addr)
+		off := uint64(addr) & (PageSize - 1)
+		n := copy(dst, p.frame(f)[off:])
+		dst = dst[n:]
+		addr += PAddr(n)
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (p *Physical) WriteBytes(addr PAddr, src []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(src) > 0 {
+		f := FrameOf(addr)
+		off := uint64(addr) & (PageSize - 1)
+		n := copy(p.frame(f)[off:], src)
+		src = src[n:]
+		addr += PAddr(n)
+	}
+}
+
+// ReadUint64 reads a little-endian 64-bit value.
+func (p *Physical) ReadUint64(addr PAddr) uint64 {
+	var buf [8]byte
+	p.ReadBytes(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// WriteUint64 writes a little-endian 64-bit value.
+func (p *Physical) WriteUint64(addr PAddr, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	p.WriteBytes(addr, buf[:])
+}
+
+// ReadUint32 reads a little-endian 32-bit value.
+func (p *Physical) ReadUint32(addr PAddr) uint32 {
+	var buf [4]byte
+	p.ReadBytes(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// WriteUint32 writes a little-endian 32-bit value.
+func (p *Physical) WriteUint32(addr PAddr, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	p.WriteBytes(addr, buf[:])
+}
+
+// ReadUint8 reads a single byte.
+func (p *Physical) ReadUint8(addr PAddr) uint8 {
+	var buf [1]byte
+	p.ReadBytes(addr, buf[:])
+	return buf[0]
+}
+
+// WriteUint8 writes a single byte.
+func (p *Physical) WriteUint8(addr PAddr, v uint8) {
+	p.WriteBytes(addr, []byte{v})
+}
+
+// ZeroFrame clears an entire physical frame (used when the kernel hands out a
+// fresh page).
+func (p *Physical) ZeroFrame(f FrameNumber) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr := p.frame(f)
+	for i := range fr {
+		fr[i] = 0
+	}
+}
+
+// TouchedFrames reports how many frames have been materialized, which tests
+// use to confirm lazy allocation.
+func (p *Physical) TouchedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}

@@ -1,0 +1,261 @@
+// Package mttop models the massively-threaded throughput-oriented (MTTOP)
+// cores of the CCSVM chip: GPU-like cores with many hardware thread contexts
+// (128 per core in Table 2), an 8-wide issue limit, small private L1 caches,
+// private TLBs and page-table walkers, and no ability to run the OS — page
+// faults are raised to a CPU core through the MIFD.
+//
+// The paper's SIMT warps are modelled as fine-grained multithreading under a
+// shared issue-bandwidth limit (see DESIGN.md); this preserves the peak
+// throughput of 8 operations per cycle per core and the memory-system
+// behaviour the evaluation measures.
+package mttop
+
+import (
+	"fmt"
+
+	"ccsvm/internal/exec"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/sim"
+	"ccsvm/internal/stats"
+	"ccsvm/internal/vm"
+)
+
+// FaultHandler receives page faults that MTTOP cores cannot service locally.
+// The MIFD implements it by interrupting a CPU core, exactly as in Section
+// 3.2.1 of the paper.
+type FaultHandler interface {
+	RaiseMTTOPPageFault(fault *vm.Fault, resume func())
+}
+
+// Config describes one MTTOP core.
+type Config struct {
+	// Clock is the MTTOP clock domain (600 MHz).
+	Clock sim.Clock
+	// NumContexts is the number of hardware thread contexts (128).
+	NumContexts int
+	// IssueWidth is the number of operations the core can issue per cycle
+	// across all contexts (8).
+	IssueWidth int
+	// Name prefixes the core's statistics.
+	Name string
+}
+
+// hwContext is one hardware thread context.
+type hwContext struct {
+	idx    int
+	thread *exec.Thread
+	onDone func()
+	busy   bool
+}
+
+// Core is one MTTOP core.
+type Core struct {
+	engine *sim.Engine
+	cfg    Config
+	port   mem.Port
+	mmu    *vm.MMU
+	phys   *mem.Physical
+	faults FaultHandler
+
+	contexts []hwContext
+	free     []int
+	// issueFree is the shared issue-bandwidth bucket: each operation reserves
+	// 1/IssueWidth of a cycle.
+	issueFree sim.Time
+
+	instrs     *stats.Counter
+	memOps     *stats.Counter
+	pageFaults *stats.Counter
+	tasksRun   *stats.Counter
+}
+
+// New builds an MTTOP core.
+func New(engine *sim.Engine, cfg Config, port mem.Port, mmu *vm.MMU, phys *mem.Physical,
+	faults FaultHandler, reg *stats.Registry) *Core {
+	if cfg.NumContexts <= 0 || cfg.IssueWidth <= 0 {
+		panic(fmt.Sprintf("mttop: invalid config for %s", cfg.Name))
+	}
+	c := &Core{
+		engine:   engine,
+		cfg:      cfg,
+		port:     port,
+		mmu:      mmu,
+		phys:     phys,
+		faults:   faults,
+		contexts: make([]hwContext, cfg.NumContexts),
+	}
+	for i := range c.contexts {
+		c.contexts[i].idx = i
+		c.free = append(c.free, i)
+	}
+	c.instrs = reg.Counter(cfg.Name + ".instructions")
+	c.memOps = reg.Counter(cfg.Name + ".mem_ops")
+	c.pageFaults = reg.Counter(cfg.Name + ".page_faults")
+	c.tasksRun = reg.Counter(cfg.Name + ".threads_run")
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// MMU returns the core's MMU.
+func (c *Core) MMU() *vm.MMU { return c.mmu }
+
+// FreeContexts reports how many hardware thread contexts are available.
+func (c *Core) FreeContexts() int { return len(c.free) }
+
+// FlushTLB flushes the core's TLB (the MIFD broadcasts this on shootdown).
+func (c *Core) FlushTLB() {
+	if c.mmu != nil {
+		c.mmu.TLB().Flush()
+	}
+}
+
+// StartThread binds a software thread to a free hardware context, loads the
+// CR3 it received in the task descriptor, and begins execution. onDone runs
+// when the thread's kernel function returns (the context is freed first).
+// It panics if no context is free; the MIFD checks FreeContexts before
+// dispatching.
+func (c *Core) StartThread(t *exec.Thread, cr3 mem.PAddr, onDone func()) {
+	if len(c.free) == 0 {
+		panic(fmt.Sprintf("%s: StartThread with no free contexts", c.cfg.Name))
+	}
+	idx := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	h := &c.contexts[idx]
+	h.thread = t
+	h.onDone = onDone
+	h.busy = false
+	c.tasksRun.Inc()
+	// The task descriptor carries the process's CR3; loading it makes the
+	// MTTOP core a full participant in the process's virtual address space.
+	// (The APU baseline reuses this core model for its GPU SIMD units with no
+	// MMU at all: addresses are physical and cr3 is ignored.)
+	if c.mmu != nil {
+		c.mmu.SetRoot(cr3)
+	}
+	t.Start()
+	c.stepContext(h)
+}
+
+// BusyContexts reports how many contexts are currently running threads.
+func (c *Core) BusyContexts() int { return c.cfg.NumContexts - len(c.free) }
+
+// stepContext pulls and executes the next operation of one context's thread.
+func (c *Core) stepContext(h *hwContext) {
+	if h.busy || h.thread == nil {
+		return
+	}
+	op, ok := h.thread.Next()
+	if !ok {
+		c.finishContext(h)
+		return
+	}
+	h.busy = true
+	c.execute(h, op)
+}
+
+func (c *Core) finishContext(h *hwContext) {
+	t := h.thread
+	onDone := h.onDone
+	h.thread = nil
+	h.onDone = nil
+	h.busy = false
+	c.free = append(c.free, h.idx)
+	if err := t.Err(); err != nil {
+		panic(fmt.Sprintf("%s: MTTOP thread %q failed: %v", c.cfg.Name, t.Name(), err))
+	}
+	if onDone != nil {
+		onDone()
+	}
+}
+
+// reserveIssueSlots charges n operations against the core's shared issue
+// bandwidth and returns the time the last of them issues.
+func (c *Core) reserveIssueSlots(n int64) sim.Time {
+	now := c.engine.Now()
+	start := now
+	if c.issueFree > start {
+		start = c.issueFree
+	}
+	perOp := sim.Duration(int64(c.cfg.Clock.Period) / int64(c.cfg.IssueWidth))
+	if perOp < 1 {
+		perOp = 1
+	}
+	c.issueFree = start.Add(sim.Duration(n) * perOp)
+	return c.issueFree
+}
+
+func (c *Core) execute(h *hwContext, op exec.Op) {
+	switch op.Kind {
+	case exec.OpCompute:
+		c.instrs.Add(uint64(op.Instrs))
+		// A single thread issues dependent instructions at one per cycle;
+		// across threads the core sustains at most IssueWidth per cycle.
+		slotEnd := c.reserveIssueSlots(op.Instrs)
+		chainEnd := c.engine.Now().Add(c.cfg.Clock.Cycles(op.Instrs))
+		end := chainEnd
+		if slotEnd > end {
+			end = slotEnd
+		}
+		c.engine.At(end, func() { c.completeOp(h, exec.Result{}) })
+	case exec.OpLoad, exec.OpStore, exec.OpRMW:
+		c.instrs.Inc()
+		c.memOps.Inc()
+		issueAt := c.reserveIssueSlots(1)
+		c.engine.At(issueAt, func() {
+			c.memAccess(h, op, func(val uint64) {
+				c.completeOp(h, exec.Result{Value: val})
+			})
+		})
+	case exec.OpSyscall:
+		// MTTOP cores do not run the OS (Section 3.2.1); OS services are
+		// obtained by signalling a CPU thread through shared memory instead.
+		panic(fmt.Sprintf("%s: MTTOP thread attempted syscall %d", c.cfg.Name, op.Syscall))
+	default:
+		panic(fmt.Sprintf("%s: unknown op kind %v", c.cfg.Name, op.Kind))
+	}
+}
+
+func (c *Core) completeOp(h *hwContext, r exec.Result) {
+	h.thread.Complete(r)
+	h.busy = false
+	c.stepContext(h)
+}
+
+func (c *Core) memAccess(h *hwContext, op exec.Op, done func(val uint64)) {
+	write := op.Kind != exec.OpLoad
+	if c.mmu == nil {
+		c.issueToPort(op, mem.PAddr(op.Addr), done)
+		return
+	}
+	c.mmu.Translate(op.Addr, write, func(pa mem.PAddr, fault *vm.Fault) {
+		if fault != nil {
+			// The MTTOP core cannot run the fault handler; the MIFD
+			// interrupts a CPU core on our behalf and resumes us afterwards.
+			c.pageFaults.Inc()
+			c.faults.RaiseMTTOPPageFault(fault, func() {
+				c.memAccess(h, op, done)
+			})
+			return
+		}
+		c.issueToPort(op, pa, done)
+	})
+}
+
+// issueToPort performs the timed cache access and the functional data
+// movement at completion time.
+func (c *Core) issueToPort(op exec.Op, pa mem.PAddr, done func(val uint64)) {
+	var typ mem.AccessType
+	switch op.Kind {
+	case exec.OpLoad:
+		typ = mem.Read
+	case exec.OpStore:
+		typ = mem.Write
+	case exec.OpRMW:
+		typ = mem.ReadModifyWrite
+	}
+	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: op.Size}, func() {
+		done(performFunctional(c.phys, op, pa))
+	})
+}

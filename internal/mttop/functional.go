@@ -1,0 +1,53 @@
+package mttop
+
+import (
+	"fmt"
+
+	"ccsvm/internal/exec"
+	"ccsvm/internal/mem"
+)
+
+// performFunctional applies the functional effect of a completed memory
+// operation. It mirrors cpu.PerformFunctional; the duplication keeps the two
+// core packages independent of each other.
+func performFunctional(phys *mem.Physical, op exec.Op, pa mem.PAddr) uint64 {
+	switch op.Kind {
+	case exec.OpLoad:
+		return readSized(phys, pa, op.Size)
+	case exec.OpStore:
+		writeSized(phys, pa, op.Size, op.Value)
+		return 0
+	case exec.OpRMW:
+		old := readSized(phys, pa, op.Size)
+		writeSized(phys, pa, op.Size, op.Modify(old))
+		return old
+	default:
+		panic(fmt.Sprintf("mttop: functional perform of %v", op.Kind))
+	}
+}
+
+func readSized(phys *mem.Physical, pa mem.PAddr, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(phys.ReadUint8(pa))
+	case 4:
+		return uint64(phys.ReadUint32(pa))
+	case 8:
+		return phys.ReadUint64(pa)
+	default:
+		panic(fmt.Sprintf("mttop: unsupported access size %d", size))
+	}
+}
+
+func writeSized(phys *mem.Physical, pa mem.PAddr, size int, v uint64) {
+	switch size {
+	case 1:
+		phys.WriteUint8(pa, uint8(v))
+	case 4:
+		phys.WriteUint32(pa, uint32(v))
+	case 8:
+		phys.WriteUint64(pa, v)
+	default:
+		panic(fmt.Sprintf("mttop: unsupported access size %d", size))
+	}
+}

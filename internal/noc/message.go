@@ -1,0 +1,57 @@
+// Package noc models the on-chip interconnection network of the CCSVM chip:
+// a 2D torus with dimension-order routing, per-hop router latency, and
+// per-link serialization at the configured link bandwidth (12 GB/s in the
+// paper's Table 2). The same package also provides a simple crossbar used by
+// the APU baseline model.
+package noc
+
+import (
+	"fmt"
+
+	"ccsvm/internal/sim"
+)
+
+// NodeID identifies an endpoint attached to the network (a core's L1
+// controller, an L2/directory bank, a memory controller, or the MIFD).
+type NodeID int
+
+// Message is the unit of transfer on the network. The coherence protocol
+// stores its own payload in Payload; the network only needs source,
+// destination and size.
+type Message struct {
+	// Src and Dst are the endpoints.
+	Src, Dst NodeID
+	// SizeBytes is the total message size used for link serialization.
+	// Control messages are typically 8-16 bytes, data messages carry a
+	// 64-byte cache line plus a header.
+	SizeBytes int
+	// Payload is the protocol-level content, opaque to the network.
+	Payload any
+	// Enqueued is stamped by the network when the message is accepted, for
+	// latency accounting.
+	Enqueued sim.Time
+}
+
+// String formats the message for traces.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg %d->%d (%dB)", m.Src, m.Dst, m.SizeBytes)
+}
+
+// Receiver is implemented by every endpoint attached to a network; the
+// network calls Receive when a message arrives, at the arrival time on the
+// simulation clock.
+type Receiver interface {
+	Receive(msg *Message)
+}
+
+// Network is the interface shared by the torus and the crossbar: endpoints
+// send messages and register to receive them.
+type Network interface {
+	// Attach registers the receiver for a node ID. It panics if the node is
+	// already attached, which catches wiring bugs at machine-build time.
+	Attach(id NodeID, r Receiver)
+	// Send accepts a message for delivery. Delivery order between a given
+	// source and destination pair is preserved (the torus uses deterministic
+	// dimension-order routing with FIFO links).
+	Send(msg *Message)
+}

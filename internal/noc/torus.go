@@ -1,0 +1,247 @@
+package noc
+
+import (
+	"fmt"
+
+	"ccsvm/internal/sim"
+	"ccsvm/internal/stats"
+)
+
+// Coord is a router coordinate in the 2D torus.
+type Coord struct {
+	X, Y int
+}
+
+// TorusConfig describes the 2D torus of Figure 1 / Table 2.
+type TorusConfig struct {
+	// Width and Height are the router grid dimensions.
+	Width, Height int
+	// LinkBandwidth is the per-link bandwidth in bytes per second
+	// (12 GB/s in Table 2).
+	LinkBandwidth float64
+	// LinkLatency is the wire traversal latency per hop.
+	LinkLatency sim.Duration
+	// RouterLatency is the per-router processing latency per hop.
+	RouterLatency sim.Duration
+	// EjectLatency is the latency from the final router into the endpoint.
+	EjectLatency sim.Duration
+}
+
+// DefaultTorusConfig returns the parameters used for the CCSVM chip: a torus
+// sized by the caller with 12 GB/s links and one-cycle-ish router and link
+// latencies.
+func DefaultTorusConfig(width, height int) TorusConfig {
+	return TorusConfig{
+		Width:         width,
+		Height:        height,
+		LinkBandwidth: 12e9,
+		LinkLatency:   500 * sim.Picosecond,
+		RouterLatency: 500 * sim.Picosecond,
+		EjectLatency:  200 * sim.Picosecond,
+	}
+}
+
+// link is a directed link between adjacent routers with FIFO serialization.
+type link struct {
+	// freeAt is the earliest time the link can begin transmitting the next
+	// message.
+	freeAt sim.Time
+	// busyTime accumulates occupancy for utilization stats.
+	busyTime sim.Duration
+}
+
+// Torus is a 2D torus network with dimension-order (X then Y) routing and
+// shortest-direction wraparound. Messages experience per-hop router and link
+// latency plus serialization and FIFO contention on every link they cross.
+type Torus struct {
+	cfg    TorusConfig
+	engine *sim.Engine
+	reg    *stats.Registry
+
+	placement map[NodeID]Coord
+	receivers map[NodeID]Receiver
+
+	// links[from][dir] where dir indexes +X, -X, +Y, -Y.
+	links map[Coord]*[4]link
+
+	msgs      *stats.Counter
+	bytes     *stats.Counter
+	hops      *stats.Counter
+	totalLatP *stats.Counter
+}
+
+const (
+	dirPlusX = iota
+	dirMinusX
+	dirPlusY
+	dirMinusY
+)
+
+// NewTorus builds a torus. placement maps every attachable node to its router
+// coordinate; several nodes may share one router (e.g. an L2 bank and its
+// directory bank).
+func NewTorus(engine *sim.Engine, cfg TorusConfig, placement map[NodeID]Coord, reg *stats.Registry) *Torus {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("noc: torus dimensions must be positive")
+	}
+	t := &Torus{
+		cfg:       cfg,
+		engine:    engine,
+		reg:       reg,
+		placement: make(map[NodeID]Coord, len(placement)),
+		receivers: make(map[NodeID]Receiver),
+		links:     make(map[Coord]*[4]link),
+	}
+	for id, c := range placement {
+		if c.X < 0 || c.X >= cfg.Width || c.Y < 0 || c.Y >= cfg.Height {
+			panic(fmt.Sprintf("noc: node %d placed at %v outside %dx%d torus", id, c, cfg.Width, cfg.Height))
+		}
+		t.placement[id] = c
+	}
+	for x := 0; x < cfg.Width; x++ {
+		for y := 0; y < cfg.Height; y++ {
+			t.links[Coord{x, y}] = &[4]link{}
+		}
+	}
+	t.msgs = reg.Counter("noc.messages")
+	t.bytes = reg.Counter("noc.bytes")
+	t.hops = reg.Counter("noc.hops")
+	t.totalLatP = reg.Counter("noc.total_latency_ps")
+	return t
+}
+
+// Attach implements Network.
+func (t *Torus) Attach(id NodeID, r Receiver) {
+	if _, ok := t.receivers[id]; ok {
+		panic(fmt.Sprintf("noc: node %d attached twice", id))
+	}
+	if _, ok := t.placement[id]; !ok {
+		panic(fmt.Sprintf("noc: node %d has no placement on the torus", id))
+	}
+	t.receivers[id] = r
+}
+
+// Placement reports the coordinate of a node.
+func (t *Torus) Placement(id NodeID) (Coord, bool) {
+	c, ok := t.placement[id]
+	return c, ok
+}
+
+// Route returns the sequence of coordinates a message visits from src to dst
+// (inclusive of both), using X-then-Y dimension-order routing with
+// shortest-direction wraparound.
+func (t *Torus) Route(src, dst NodeID) []Coord {
+	s, ok := t.placement[src]
+	if !ok {
+		panic(fmt.Sprintf("noc: unknown source node %d", src))
+	}
+	d, ok := t.placement[dst]
+	if !ok {
+		panic(fmt.Sprintf("noc: unknown destination node %d", dst))
+	}
+	path := []Coord{s}
+	cur := s
+	for cur.X != d.X {
+		cur.X = t.stepToward(cur.X, d.X, t.cfg.Width)
+		path = append(path, cur)
+	}
+	for cur.Y != d.Y {
+		cur.Y = t.stepToward(cur.Y, d.Y, t.cfg.Height)
+		path = append(path, cur)
+	}
+	return path
+}
+
+// HopCount reports the number of link traversals between two nodes.
+func (t *Torus) HopCount(src, dst NodeID) int { return len(t.Route(src, dst)) - 1 }
+
+// stepToward moves one position from cur toward dst around a ring of the
+// given size, taking the shorter direction (ties go in the + direction).
+func (t *Torus) stepToward(cur, dst, size int) int {
+	forward := (dst - cur + size) % size
+	backward := (cur - dst + size) % size
+	if forward <= backward {
+		return (cur + 1) % size
+	}
+	return (cur - 1 + size) % size
+}
+
+func dirOf(from, to Coord, width, height int) int {
+	switch {
+	case to.X == (from.X+1)%width && to.Y == from.Y:
+		return dirPlusX
+	case to.X == (from.X-1+width)%width && to.Y == from.Y:
+		return dirMinusX
+	case to.Y == (from.Y+1)%height && to.X == from.X:
+		return dirPlusY
+	case to.Y == (from.Y-1+height)%height && to.X == from.X:
+		return dirMinusY
+	default:
+		panic(fmt.Sprintf("noc: %v -> %v is not a single hop", from, to))
+	}
+}
+
+// serialization returns how long a message of the given size occupies a link.
+func (t *Torus) serialization(sizeBytes int) sim.Duration {
+	if t.cfg.LinkBandwidth <= 0 {
+		return 0
+	}
+	ps := float64(sizeBytes) / t.cfg.LinkBandwidth * float64(sim.Second)
+	return sim.Duration(ps + 0.5)
+}
+
+// Send implements Network. The message is walked hop by hop; each hop charges
+// router latency, waits for the outgoing link to be free, occupies it for the
+// serialization time, and traverses it in the link latency.
+func (t *Torus) Send(msg *Message) {
+	if msg.SizeBytes <= 0 {
+		panic("noc: message with non-positive size")
+	}
+	msg.Enqueued = t.engine.Now()
+	t.msgs.Inc()
+	t.bytes.Add(uint64(msg.SizeBytes))
+	path := t.Route(msg.Src, msg.Dst)
+	t.hops.Add(uint64(len(path) - 1))
+	t.advance(msg, path, 0)
+}
+
+// advance moves the message from path[idx] toward path[idx+1]; when idx is
+// the last index the message is ejected into the destination endpoint.
+func (t *Torus) advance(msg *Message, path []Coord, idx int) {
+	now := t.engine.Now()
+	if idx == len(path)-1 {
+		t.engine.Schedule(t.cfg.EjectLatency, func() {
+			t.deliver(msg)
+		})
+		return
+	}
+	from := path[idx]
+	to := path[idx+1]
+	dir := dirOf(from, to, t.cfg.Width, t.cfg.Height)
+	lnk := &t.links[from][dir]
+
+	// Router processing before the link.
+	readyAt := now.Add(t.cfg.RouterLatency)
+	start := readyAt
+	if lnk.freeAt > start {
+		start = lnk.freeAt
+	}
+	ser := t.serialization(msg.SizeBytes)
+	lnk.freeAt = start.Add(ser)
+	lnk.busyTime += ser
+	arrive := start.Add(ser).Add(t.cfg.LinkLatency)
+	t.engine.At(arrive, func() {
+		t.advance(msg, path, idx+1)
+	})
+}
+
+func (t *Torus) deliver(msg *Message) {
+	r, ok := t.receivers[msg.Dst]
+	if !ok {
+		panic(fmt.Sprintf("noc: message to unattached node %d", msg.Dst))
+	}
+	t.totalLatP.Add(uint64(t.engine.Now().Sub(msg.Enqueued)))
+	r.Receive(msg)
+}
+
+var _ Network = (*Torus)(nil)

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a unit of scheduled work. Events are ordered by time and, for
+// equal times, by the order in which they were scheduled, which makes every
+// simulation fully deterministic.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+	// canceled marks events removed with Cancel; they stay in the heap and
+	// are skipped when popped.
+	canceled bool
+	index    int
+}
+
+// When reports the simulated time at which the event fires.
+func (e *Event) When() Time { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	ev.index = -1
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulation engine.
+//
+// All component models (caches, directories, network links, cores, devices)
+// schedule closures on one shared Engine; the closures run in strict
+// (time, insertion-order) order, so a simulation with the same inputs always
+// produces bit-identical results.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// executed counts events that have run, for debugging and stats.
+	executed uint64
+}
+
+// NewEngine returns an engine positioned at time zero with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports how many scheduled (non-canceled) events remain.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in a component model, so it panics loudly rather than silently
+// reordering time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Schedule schedules fn to run after delay relative to the current time.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now.Add(delay), fn)
+}
+
+// Cancel removes a previously scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	ev.fn = nil
+}
+
+// Step runs the single next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		fn := ev.fn
+		ev.fn = nil
+		e.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with times <= deadline. Events scheduled beyond the
+// deadline remain queued. It returns the number of events executed.
+func (e *Engine) RunUntil(deadline Time) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.when > deadline {
+			break
+		}
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// RunFor executes events for the given duration from the current time.
+func (e *Engine) RunFor(d Duration) int { return e.RunUntil(e.now.Add(d)) }
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,53 @@
+package sim
+
+// Ticker invokes a callback on every edge of a clock while it is armed. It is
+// used by components that need periodic evaluation (e.g. core issue logic)
+// but avoids wasting host time while the component is idle: a ticker can be
+// paused and re-armed.
+type Ticker struct {
+	engine *Engine
+	clock  Clock
+	fn     func(now Time)
+	armed  bool
+	ev     *Event
+}
+
+// NewTicker creates a paused ticker on the given clock. fn runs once per
+// clock edge while the ticker is armed.
+func NewTicker(engine *Engine, clock Clock, fn func(now Time)) *Ticker {
+	return &Ticker{engine: engine, clock: clock, fn: fn}
+}
+
+// Arm starts (or restarts) periodic callbacks beginning at the next clock
+// edge at or after the current time. Arming an armed ticker is a no-op.
+func (t *Ticker) Arm() {
+	if t.armed {
+		return
+	}
+	t.armed = true
+	t.scheduleNext(t.clock.NextEdge(t.engine.Now()))
+}
+
+// Pause stops future callbacks. The ticker can be re-armed later.
+func (t *Ticker) Pause() {
+	t.armed = false
+	if t.ev != nil {
+		t.engine.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the ticker is currently scheduled.
+func (t *Ticker) Armed() bool { return t.armed }
+
+func (t *Ticker) scheduleNext(at Time) {
+	t.ev = t.engine.At(at, func() {
+		if !t.armed {
+			return
+		}
+		t.fn(t.engine.Now())
+		if t.armed {
+			t.scheduleNext(t.engine.Now().Add(t.clock.Period))
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry("test")
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("hits"); again != c {
+		t.Fatal("Counter should return the same instance for the same name")
+	}
+	g := r.Gauge("occupancy")
+	g.Set(3)
+	g.Add(2)
+	g.Add(-4)
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	if g.Max() != 5 {
+		t.Fatalf("gauge max = %d, want 5", g.Max())
+	}
+}
+
+func TestRegistryLookupSumSnapshotReset(t *testing.T) {
+	r := NewRegistry("chip")
+	r.Counter("l1.0.hits").Add(10)
+	r.Counter("l1.1.hits").Add(20)
+	r.Counter("dram.reads").Add(7)
+	if got := r.Sum("l1."); got != 30 {
+		t.Fatalf("Sum(l1.) = %d, want 30", got)
+	}
+	if v, ok := r.Lookup("dram.reads"); !ok || v != 7 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("Lookup of missing counter succeeded")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatal("snapshot not sorted by name")
+		}
+	}
+	r.Reset()
+	if got := r.Sum(""); got != 0 {
+		t.Fatalf("after Reset sum = %d, want 0", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := Format([]NamedValue{{Name: "a", Value: 1}, {Name: "long.counter.name", Value: 2.5}})
+	if !strings.Contains(out, "long.counter.name") || !strings.Contains(out, "2.5") {
+		t.Fatalf("Format output missing content:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Figure 5", "N", "APU", "CCSVM")
+	tb.AddRow(16, 1.5, 0.001)
+	tb.AddRow(1024, 0.25, 0.3)
+	s := tb.String()
+	if !strings.Contains(s, "Figure 5") || !strings.Contains(s, "CCSVM") {
+		t.Fatalf("table missing header:\n%s", s)
+	}
+	if !strings.Contains(s, "1024") || !strings.Contains(s, "0.001") {
+		t.Fatalf("table missing data:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+}

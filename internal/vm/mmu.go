@@ -1,0 +1,125 @@
+package vm
+
+import (
+	"fmt"
+
+	"ccsvm/internal/mem"
+	"ccsvm/internal/stats"
+)
+
+// Fault describes a translation failure that must be handled by the OS (on a
+// CPU core) or forwarded through the MIFD (from an MTTOP core).
+type Fault struct {
+	// VA is the faulting virtual address.
+	VA mem.VAddr
+	// Write reports whether the faulting access was a store.
+	Write bool
+	// Root is the CR3 value of the faulting process.
+	Root mem.PAddr
+}
+
+// Error implements error so a Fault can flow through error paths in tests.
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("page fault: %s of %#x (cr3 %#x)", kind, uint64(f.VA), uint64(f.Root))
+}
+
+// MMU is one core's address-translation unit: a TLB backed by a hardware
+// page-table walker that reads PTEs through the core's own L1 cache port, as
+// the paper's x86-faithful design requires.
+type MMU struct {
+	tlb    *TLB
+	port   mem.Port
+	phys   *mem.Physical
+	root   mem.PAddr
+	hasCR3 bool
+
+	walks  *stats.Counter
+	faults *stats.Counter
+}
+
+// NewMMU builds an MMU that performs page walks through the given cache port,
+// reading PTE values from the machine's functional physical memory.
+func NewMMU(tlbCfg TLBConfig, port mem.Port, phys *mem.Physical, reg *stats.Registry) *MMU {
+	return &MMU{
+		tlb:    NewTLB(tlbCfg, reg),
+		port:   port,
+		phys:   phys,
+		walks:  reg.Counter(tlbCfg.Name + ".walks"),
+		faults: reg.Counter(tlbCfg.Name + ".faults"),
+	}
+}
+
+// SetRoot loads the CR3 equivalent: the physical address of the current
+// process's page-table root. Changing the root flushes the TLB.
+func (m *MMU) SetRoot(root mem.PAddr) {
+	if m.hasCR3 && m.root == root {
+		return
+	}
+	m.root = root
+	m.hasCR3 = true
+	m.tlb.Flush()
+}
+
+// Root returns the current translation root.
+func (m *MMU) Root() mem.PAddr { return m.root }
+
+// TLB exposes the MMU's TLB (the MIFD flushes MTTOP TLBs on shootdown).
+func (m *MMU) TLB() *TLB { return m.tlb }
+
+// Translate resolves va. On success done(pa, nil) runs at the time the
+// translation is available (immediately for a TLB hit, after the walk's
+// memory accesses for a miss). On a translation failure done(0, fault) runs
+// and the TLB is left unchanged; the caller is responsible for retrying after
+// the fault is serviced.
+func (m *MMU) Translate(va mem.VAddr, write bool, done func(pa mem.PAddr, fault *Fault)) {
+	if !m.hasCR3 {
+		panic("vm: translate before SetRoot")
+	}
+	if frame, _, ok := m.tlb.Lookup(va); ok {
+		done(mem.Translate(frame, va), nil)
+		return
+	}
+	m.walk(va, write, done)
+}
+
+// walk performs the two dependent PTE reads of the hardware walker through
+// the cache hierarchy.
+func (m *MMU) walk(va mem.VAddr, write bool, done func(pa mem.PAddr, fault *Fault)) {
+	m.walks.Inc()
+	l1Addr := L1EntryAddr(m.root, va)
+	m.readPTE(l1Addr, func(l1 PTE) {
+		if !l1.Present() {
+			m.faults.Inc()
+			done(0, &Fault{VA: va, Write: write, Root: m.root})
+			return
+		}
+		l2Addr := L2EntryAddr(l1.Frame().Addr(), va)
+		m.readPTE(l2Addr, func(pte PTE) {
+			if !pte.Present() {
+				m.faults.Inc()
+				done(0, &Fault{VA: va, Write: write, Root: m.root})
+				return
+			}
+			m.tlb.Insert(va, pte.Frame(), pte.Writable())
+			done(mem.Translate(pte.Frame(), va), nil)
+		})
+	})
+}
+
+// readPTE issues a timed read of one PTE through the cache port; the value is
+// read functionally when the access completes.
+func (m *MMU) readPTE(addr mem.PAddr, use func(PTE)) {
+	m.port.Access(mem.Request{Type: mem.Read, Addr: addr, Size: 8}, func() {
+		use(PTE(m.phys.ReadUint64(addr)))
+	})
+}
+
+// Walks reports how many page walks this MMU performed.
+func (m *MMU) Walks() uint64 { return m.walks.Value() }
+
+// Faults reports how many page faults this MMU raised.
+func (m *MMU) Faults() uint64 { return m.faults.Value() }

@@ -1,0 +1,105 @@
+package vm
+
+import (
+	"ccsvm/internal/mem"
+	"ccsvm/internal/stats"
+)
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	// Entries is the capacity (64, fully associative, in Table 2).
+	Entries int
+	// Name prefixes the TLB's statistics.
+	Name string
+}
+
+// tlbEntry caches one translation.
+type tlbEntry struct {
+	page     mem.PageNumber
+	frame    mem.FrameNumber
+	writable bool
+	lru      uint64
+}
+
+// TLB is a fully associative, LRU-replaced translation cache. It is indexed
+// by virtual page only; a context switch or shootdown flushes it, which is
+// the conservative policy the paper adopts for MTTOP TLB coherence.
+type TLB struct {
+	cfg     TLBConfig
+	entries map[mem.PageNumber]*tlbEntry
+	tick    uint64
+
+	hits    *stats.Counter
+	misses  *stats.Counter
+	flushes *stats.Counter
+}
+
+// NewTLB builds a TLB.
+func NewTLB(cfg TLBConfig, reg *stats.Registry) *TLB {
+	if cfg.Entries <= 0 {
+		panic("vm: TLB needs at least one entry")
+	}
+	return &TLB{
+		cfg:     cfg,
+		entries: make(map[mem.PageNumber]*tlbEntry, cfg.Entries),
+		hits:    reg.Counter(cfg.Name + ".hits"),
+		misses:  reg.Counter(cfg.Name + ".misses"),
+		flushes: reg.Counter(cfg.Name + ".flushes"),
+	}
+}
+
+// Lookup returns the cached translation for the page containing va.
+func (t *TLB) Lookup(va mem.VAddr) (mem.FrameNumber, bool, bool) {
+	e, ok := t.entries[mem.PageOf(va)]
+	if !ok {
+		t.misses.Inc()
+		return 0, false, false
+	}
+	t.tick++
+	e.lru = t.tick
+	t.hits.Inc()
+	return e.frame, e.writable, true
+}
+
+// Insert caches a translation, evicting the LRU entry if the TLB is full.
+func (t *TLB) Insert(va mem.VAddr, frame mem.FrameNumber, writable bool) {
+	page := mem.PageOf(va)
+	if e, ok := t.entries[page]; ok {
+		t.tick++
+		e.frame, e.writable, e.lru = frame, writable, t.tick
+		return
+	}
+	if len(t.entries) >= t.cfg.Entries {
+		var victim mem.PageNumber
+		var oldest uint64 = ^uint64(0)
+		for p, e := range t.entries {
+			if e.lru < oldest {
+				oldest = e.lru
+				victim = p
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.tick++
+	t.entries[page] = &tlbEntry{page: page, frame: frame, writable: writable, lru: t.tick}
+}
+
+// InvalidatePage removes one translation (selective shootdown).
+func (t *TLB) InvalidatePage(va mem.VAddr) {
+	delete(t.entries, mem.PageOf(va))
+}
+
+// Flush empties the TLB (the conservative shootdown used for MTTOP cores).
+func (t *TLB) Flush() {
+	t.flushes.Inc()
+	t.entries = make(map[mem.PageNumber]*tlbEntry, t.cfg.Entries)
+}
+
+// Occupancy reports how many translations are cached.
+func (t *TLB) Occupancy() int { return len(t.entries) }
+
+// Hits reports the number of TLB hits.
+func (t *TLB) Hits() uint64 { return t.hits.Value() }
+
+// Misses reports the number of TLB misses.
+func (t *TLB) Misses() uint64 { return t.misses.Value() }
