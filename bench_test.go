@@ -1,192 +1,123 @@
 // Package ccsvm_test holds the benchmark harness: one testing.B benchmark per
 // table/figure series of the paper's evaluation (see the experiment index in
-// DESIGN.md). The benchmarks run small problem instances so `go test -bench`
-// stays fast; cmd/paper-figs runs the full sweeps. Each benchmark reports the
-// simulated time (sim_us) and off-chip traffic (dram_accesses) of the system
-// it models alongside the host-time metrics Go reports natively.
+// DESIGN.md). Every benchmark resolves its (workload, system) pair through
+// the ccsvm registry, so the harness needs no knowledge of the per-system
+// entry points. The benchmarks run small problem instances so `go test
+// -bench` stays fast; cmd/paper-figs runs the full sweeps. Each benchmark
+// reports the simulated time (sim_us) and off-chip traffic (dram_accesses) of
+// the system it models alongside the host-time metrics Go reports natively.
 package ccsvm_test
 
 import (
 	"testing"
 
-	"ccsvm/internal/apu"
-	"ccsvm/internal/core"
-	"ccsvm/internal/workloads"
+	"ccsvm"
 )
 
 const benchSeed = 42
 
-func report(b *testing.B, r workloads.Result) {
+// benchRun resolves workload/kind through the registry and runs it b.N times,
+// reporting simulated time and off-chip traffic.
+func benchRun(b *testing.B, workload string, kind ccsvm.SystemKind, p ccsvm.Params) {
 	b.Helper()
-	b.ReportMetric(float64(r.Time)/1e6, "sim_us/op")
-	b.ReportMetric(float64(r.DRAMAccesses), "dram_accesses/op")
+	w, ok := ccsvm.Lookup(workload)
+	if !ok {
+		b.Fatalf("workload %q not registered", workload)
+	}
+	sys := ccsvm.MustSystem(kind)
+	p.Seed = benchSeed
+	for i := 0; i < b.N; i++ {
+		r, err := w.Run(sys, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Time)/1e6, "sim_us/op")
+		b.ReportMetric(float64(r.DRAMAccesses), "dram_accesses/op")
+	}
 }
 
 // Figure 5: dense matrix multiply.
 
 func BenchmarkFig5MatMulCCSVM(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.MatMulXthreads(core.DefaultConfig(), 32, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "matmul", ccsvm.SystemCCSVM, ccsvm.Params{N: 32})
 }
 
 func BenchmarkFig5MatMulAPUOpenCL(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.MatMulOpenCL(apu.DefaultConfig(), 32, benchSeed, false)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "matmul", ccsvm.SystemOpenCL, ccsvm.Params{N: 32})
 }
 
 func BenchmarkFig5MatMulAPUCPU(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.MatMulCPU(apu.DefaultConfig(), 32, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "matmul", ccsvm.SystemCPU, ccsvm.Params{N: 32})
 }
 
 // Figure 6: all-pairs shortest path.
 
 func BenchmarkFig6APSPCCSVM(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.APSPXthreads(core.DefaultConfig(), 20, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "apsp", ccsvm.SystemCCSVM, ccsvm.Params{N: 20})
 }
 
 func BenchmarkFig6APSPAPUOpenCL(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.APSPOpenCL(apu.DefaultConfig(), 20, benchSeed, false)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "apsp", ccsvm.SystemOpenCL, ccsvm.Params{N: 20})
 }
 
 func BenchmarkFig6APSPAPUCPU(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.APSPCPU(apu.DefaultConfig(), 20, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "apsp", ccsvm.SystemCPU, ccsvm.Params{N: 20})
 }
 
 // Figure 7: Barnes-Hut.
 
 func BenchmarkFig7BarnesHutCCSVM(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.BarnesHutXthreads(core.DefaultConfig(), 96, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "barneshut", ccsvm.SystemCCSVM, ccsvm.Params{N: 96})
 }
 
 func BenchmarkFig7BarnesHutAPUCPU(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.BarnesHutCPU(apu.DefaultConfig(), 96, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "barneshut", ccsvm.SystemCPU, ccsvm.Params{N: 96})
 }
 
 func BenchmarkFig7BarnesHutAPUPthreads(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.BarnesHutPthreads(apu.DefaultConfig(), 96, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "barneshut", ccsvm.SystemPthreads, ccsvm.Params{N: 96})
 }
 
 // Figure 8: sparse matrix multiply (size and density axes).
 
 func BenchmarkFig8SparseSizeCCSVM(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.SparseMMXthreads(core.DefaultConfig(), 48, 0.02, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "sparse", ccsvm.SystemCCSVM, ccsvm.Params{N: 48, Density: 0.02})
 }
 
 func BenchmarkFig8SparseSizeAPUCPU(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.SparseMMCPU(apu.DefaultConfig(), 48, 0.02, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "sparse", ccsvm.SystemCPU, ccsvm.Params{N: 48, Density: 0.02})
 }
 
 func BenchmarkFig8SparseDensityCCSVM(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.SparseMMXthreads(core.DefaultConfig(), 48, 0.06, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "sparse", ccsvm.SystemCCSVM, ccsvm.Params{N: 48, Density: 0.06})
 }
 
-// Figure 9: off-chip DRAM accesses (the benchmark runs the CCSVM and OpenCL
-// offloads and reports their traffic; the assertion-level comparison lives in
-// the workloads tests).
+// Figure 9: off-chip DRAM accesses. The benchmark runs the Figure 9 pair
+// sweep through the Runner and reports each system's traffic; the
+// assertion-level comparison lives in the workloads tests.
 
 func BenchmarkFig9DRAMAccesses(b *testing.B) {
+	specs := []ccsvm.RunSpec{
+		{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: ccsvm.Params{N: 32, Seed: benchSeed}},
+		{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemOpenCL), Params: ccsvm.Params{N: 32, Seed: benchSeed}},
+	}
+	runner := &ccsvm.Runner{Parallel: 2}
 	for i := 0; i < b.N; i++ {
-		ccsvm, err := workloads.MatMulXthreads(core.DefaultConfig(), 32, benchSeed)
+		res, err := runner.Run(specs)
 		if err != nil {
 			b.Fatal(err)
 		}
-		ocl, err := workloads.MatMulOpenCL(apu.DefaultConfig(), 32, benchSeed, false)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(ccsvm.DRAMAccesses), "ccsvm_dram/op")
-		b.ReportMetric(float64(ocl.DRAMAccesses), "apu_dram/op")
+		b.ReportMetric(float64(res[0].Result.DRAMAccesses), "ccsvm_dram/op")
+		b.ReportMetric(float64(res[1].Result.DRAMAccesses), "apu_dram/op")
 	}
 }
 
 // Figures 3/4: vector-add offload cost by programming model.
 
 func BenchmarkCodeComparisonVectorAddXthreads(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.VectorAddXthreads(core.DefaultConfig(), 256, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "vectoradd", ccsvm.SystemCCSVM, ccsvm.Params{N: 256})
 }
 
 func BenchmarkCodeComparisonVectorAddOpenCL(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := workloads.VectorAddOpenCL(apu.DefaultConfig(), 256, benchSeed, true)
-		if err != nil {
-			b.Fatal(err)
-		}
-		report(b, r)
-	}
+	benchRun(b, "vectoradd", ccsvm.SystemOpenCL, ccsvm.Params{N: 256, IncludeInit: true})
 }

@@ -1,0 +1,100 @@
+package ccsvm
+
+import (
+	"ccsvm/internal/apu"
+	"ccsvm/internal/core"
+	"ccsvm/internal/workloads"
+)
+
+// The facade re-exports the simulator's workload/system model so that every
+// consumer — cmd/ccsvm-sim, cmd/paper-figs, the benchmarks, the examples, and
+// library users — resolves (workload, system) pairs through one registry
+// instead of hand-enumerating them. Importing this package is enough to
+// populate the registry: the five workload files in internal/workloads
+// register themselves at init time.
+type (
+	// System is one runnable machine model (kind + chip configuration).
+	System = workloads.System
+	// SystemKind names a machine model variant.
+	SystemKind = workloads.SystemKind
+	// Params is the parameter schema every workload draws from.
+	Params = workloads.Params
+	// Workload is a registered benchmark with per-system implementations.
+	Workload = workloads.Workload
+	// RunFunc is one workload implementation for one system kind.
+	RunFunc = workloads.RunFunc
+	// Result is the outcome of one run: measured simulated time, off-chip
+	// traffic, and whether the functional output was verified.
+	Result = workloads.Result
+)
+
+// The four systems of the paper's evaluation.
+const (
+	SystemCCSVM    = workloads.SystemCCSVM
+	SystemCPU      = workloads.SystemCPU
+	SystemOpenCL   = workloads.SystemOpenCL
+	SystemPthreads = workloads.SystemPthreads
+)
+
+// ErrUnsupportedPair is returned (wrapped) by Workload.Run and Runner.Run for
+// a (workload, system) pair with no implementation.
+var ErrUnsupportedPair = workloads.ErrUnsupportedPair
+
+// Register adds a workload to the registry. The built-in benchmarks register
+// themselves; external packages may register additional workloads before
+// running sweeps.
+func Register(w Workload) { workloads.Register(w) }
+
+// Lookup finds a registered workload by name.
+func Lookup(name string) (*Workload, bool) { return workloads.Lookup(name) }
+
+// Workloads returns every registered workload sorted by name.
+func Workloads() []*Workload { return workloads.All() }
+
+// Systems lists every machine-model kind in presentation order.
+func Systems() []SystemKind { return workloads.SystemKinds() }
+
+// NewSystem builds the named system with its Table 2 default configuration.
+func NewSystem(kind SystemKind) (System, error) { return workloads.NewSystem(kind) }
+
+// MustSystem is NewSystem for statically-known kinds; it panics on an unknown
+// kind.
+func MustSystem(kind SystemKind) System {
+	sys, err := NewSystem(kind)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// CCSVMSystem builds the tightly-coupled CCSVM machine from a core config.
+func CCSVMSystem(cfg core.Config) System { return workloads.CCSVMSystem(cfg) }
+
+// CPUSystem builds the one-core CPU baseline from an APU config.
+func CPUSystem(cfg apu.Config) System { return workloads.CPUSystem(cfg) }
+
+// OpenCLSystem builds the GPU-through-OpenCL machine from an APU config.
+func OpenCLSystem(cfg apu.Config) System { return workloads.OpenCLSystem(cfg) }
+
+// PthreadsSystem builds the four-core pthreads machine from an APU config.
+func PthreadsSystem(cfg apu.Config) System { return workloads.PthreadsSystem(cfg) }
+
+// DefaultParams returns a small, fast default problem.
+func DefaultParams() Params { return workloads.DefaultParams() }
+
+// Pairs enumerates every runnable (workload, system) pair as RunSpecs with
+// default systems and the given params — a convenient seed for smoke-test
+// sweeps over the whole registry.
+func Pairs(p Params) []RunSpec {
+	var specs []RunSpec
+	for _, w := range Workloads() {
+		for _, kind := range w.SystemKinds() {
+			specs = append(specs, RunSpec{
+				Workload: w.Name,
+				System:   MustSystem(kind),
+				Params:   p,
+			})
+		}
+	}
+	return specs
+}

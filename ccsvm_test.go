@@ -1,0 +1,230 @@
+package ccsvm_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccsvm"
+	"ccsvm/internal/apu"
+	"ccsvm/internal/core"
+)
+
+// smallSystem builds a fast, small-chip variant of the named system for
+// tests, mirroring the small configs the workload tests use.
+func smallSystem(t *testing.T, kind ccsvm.SystemKind) ccsvm.System {
+	t.Helper()
+	if kind == ccsvm.SystemCCSVM {
+		return ccsvm.CCSVMSystem(core.SmallConfig())
+	}
+	cfg := apu.DefaultConfig()
+	cfg.GPUContextsPerUnit = 64
+	switch kind {
+	case ccsvm.SystemCPU:
+		return ccsvm.CPUSystem(cfg)
+	case ccsvm.SystemOpenCL:
+		return ccsvm.OpenCLSystem(cfg)
+	case ccsvm.SystemPthreads:
+		return ccsvm.PthreadsSystem(cfg)
+	}
+	t.Fatalf("unknown kind %q", kind)
+	return ccsvm.System{}
+}
+
+// tinyParams returns a problem size each workload completes quickly at on the
+// small chips.
+func tinyParams(workload string) ccsvm.Params {
+	p := ccsvm.Params{Seed: 7, Density: 0.05}
+	switch workload {
+	case "matmul":
+		p.N = 12
+	case "apsp":
+		p.N = 10
+	case "barneshut":
+		p.N = 48
+	case "sparse":
+		p.N = 24
+	case "vectoradd":
+		p.N = 32
+	default:
+		p.N = 8
+	}
+	return p
+}
+
+func TestRegistryEnumeratesPaperWorkloads(t *testing.T) {
+	want := []string{"apsp", "barneshut", "matmul", "sparse", "vectoradd"}
+	var got []string
+	for _, w := range ccsvm.Workloads() {
+		got = append(got, w.Name)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Workloads() = %v, want %v", got, want)
+	}
+	if len(ccsvm.Systems()) != 4 {
+		t.Fatalf("Systems() = %v, want 4 kinds", ccsvm.Systems())
+	}
+	if _, ok := ccsvm.Lookup("nope"); ok {
+		t.Fatal("Lookup of unregistered workload succeeded")
+	}
+	if _, err := ccsvm.NewSystem("riscv"); err == nil {
+		t.Fatal("NewSystem of unknown kind succeeded")
+	}
+}
+
+// TestEveryRegisteredPairRuns runs each registered (workload, system) pair at
+// a tiny size and requires a verified, non-zero-time result.
+func TestEveryRegisteredPairRuns(t *testing.T) {
+	for _, w := range ccsvm.Workloads() {
+		for _, kind := range w.SystemKinds() {
+			t.Run(w.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				r, err := w.Run(smallSystem(t, kind), tinyParams(w.Name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !r.Checked || r.Time <= 0 {
+					t.Fatalf("result not checked or zero time: %v", r)
+				}
+			})
+		}
+	}
+}
+
+func TestUnsupportedPairs(t *testing.T) {
+	cases := []struct {
+		workload string
+		kind     ccsvm.SystemKind
+	}{
+		{"matmul", ccsvm.SystemPthreads},
+		{"apsp", ccsvm.SystemPthreads},
+		{"sparse", ccsvm.SystemOpenCL},
+		{"sparse", ccsvm.SystemPthreads},
+		{"vectoradd", ccsvm.SystemCPU},
+		{"barneshut", ccsvm.SystemOpenCL},
+	}
+	for _, c := range cases {
+		w, ok := ccsvm.Lookup(c.workload)
+		if !ok {
+			t.Fatalf("workload %q not registered", c.workload)
+		}
+		if w.Supports(c.kind) {
+			t.Errorf("%s unexpectedly supports %s", c.workload, c.kind)
+			continue
+		}
+		_, err := w.Run(smallSystem(t, c.kind), tinyParams(c.workload))
+		if !errors.Is(err, ccsvm.ErrUnsupportedPair) {
+			t.Errorf("%s on %s: err = %v, want ErrUnsupportedPair", c.workload, c.kind, err)
+		}
+	}
+}
+
+// sweepSpecs is a mixed sweep that exercises every workload, used by the
+// determinism and sink tests.
+func sweepSpecs(t *testing.T) []ccsvm.RunSpec {
+	var specs []ccsvm.RunSpec
+	for _, w := range ccsvm.Workloads() {
+		for _, kind := range w.SystemKinds() {
+			specs = append(specs, ccsvm.RunSpec{
+				Workload: w.Name,
+				System:   smallSystem(t, kind),
+				Params:   tinyParams(w.Name),
+				Tag:      "sweep",
+			})
+		}
+	}
+	return specs
+}
+
+// TestRunnerParallelDeterminism requires a parallel=4 sweep to produce
+// bit-identical results and byte-identical sink output to parallel=1.
+func TestRunnerParallelDeterminism(t *testing.T) {
+	specs := sweepSpecs(t)
+	var seqJSON, parJSON bytes.Buffer
+
+	seqRunner := &ccsvm.Runner{Parallel: 1, Sinks: []ccsvm.Sink{ccsvm.NewJSONLSink(&seqJSON)}}
+	seq, err := seqRunner.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRunner := &ccsvm.Runner{Parallel: 4, Sinks: []ccsvm.Sink{ccsvm.NewJSONLSink(&parJSON)}}
+	par, err := parRunner.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(seq) != len(specs) || len(par) != len(specs) {
+		t.Fatalf("result counts: seq=%d par=%d, want %d", len(seq), len(par), len(specs))
+	}
+	for i := range seq {
+		if seq[i].Result != par[i].Result {
+			t.Errorf("spec %v: parallel result %+v differs from sequential %+v",
+				specs[i], par[i].Result, seq[i].Result)
+		}
+	}
+	if !bytes.Equal(seqJSON.Bytes(), parJSON.Bytes()) {
+		t.Error("JSONL sink output differs between parallel=1 and parallel=4")
+	}
+}
+
+func TestRunnerErrorsAndSinks(t *testing.T) {
+	var jsonl, text bytes.Buffer
+	specs := []ccsvm.RunSpec{
+		{Workload: "vectoradd", System: smallSystem(t, ccsvm.SystemCCSVM), Params: tinyParams("vectoradd")},
+		{Workload: "sparse", System: smallSystem(t, ccsvm.SystemOpenCL), Params: tinyParams("sparse")},
+		{Workload: "no-such-workload", System: smallSystem(t, ccsvm.SystemCPU), Params: ccsvm.Params{N: 4}},
+	}
+	runner := &ccsvm.Runner{Parallel: 2, Sinks: []ccsvm.Sink{
+		ccsvm.NewJSONLSink(&jsonl),
+		ccsvm.NewTextSink(&text, "error sweep"),
+	}}
+	res, err := runner.Run(specs)
+	if err == nil {
+		t.Fatal("Run with failing specs returned nil error")
+	}
+	if !errors.Is(err, ccsvm.ErrUnsupportedPair) {
+		t.Errorf("joined error %v should wrap ErrUnsupportedPair", err)
+	}
+	if res[0].Err != nil || !res[0].Result.Checked {
+		t.Errorf("good spec failed: %+v", res[0])
+	}
+	if !errors.Is(res[1].Err, ccsvm.ErrUnsupportedPair) {
+		t.Errorf("res[1].Err = %v, want ErrUnsupportedPair", res[1].Err)
+	}
+	if res[2].Err == nil {
+		t.Error("unknown workload produced no error")
+	}
+
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != len(specs) {
+		t.Fatalf("JSONL emitted %d lines, want %d", len(lines), len(specs))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("JSONL line not valid JSON: %v", err)
+	}
+	if rec["workload"] != "vectoradd" || rec["checked"] != true {
+		t.Errorf("unexpected JSONL record: %v", rec)
+	}
+	if !strings.Contains(text.String(), "vectoradd") || !strings.Contains(text.String(), "error sweep") {
+		t.Errorf("text sink output missing rows:\n%s", text.String())
+	}
+}
+
+func TestPairsEnumeration(t *testing.T) {
+	specs := ccsvm.Pairs(ccsvm.DefaultParams())
+	// 5 workloads x their supported systems: matmul/apsp 3 each, barneshut 3,
+	// sparse 2, vectoradd 2.
+	if len(specs) != 13 {
+		t.Fatalf("Pairs() = %d specs, want 13", len(specs))
+	}
+	for _, s := range specs {
+		w, ok := ccsvm.Lookup(s.Workload)
+		if !ok || !w.Supports(s.System.Kind) {
+			t.Errorf("Pairs() emitted unresolvable spec %v", s)
+		}
+	}
+}

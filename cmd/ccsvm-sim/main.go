@@ -1,76 +1,79 @@
 // Command ccsvm-sim runs one benchmark on one simulated system and prints its
-// measured time, off-chip traffic, and the machine's statistics counters. It
-// is the single-experiment companion to cmd/paper-figs.
+// measured time, off-chip traffic, and verification status. It is the
+// single-experiment companion to cmd/paper-figs, and is entirely
+// registry-driven: every (workload, system) pair it can run comes from the
+// ccsvm facade, so a newly registered workload shows up here with no CLI
+// changes.
 //
 // Usage:
 //
+//	ccsvm-sim -list                                  # every runnable pair
 //	ccsvm-sim -workload matmul -system ccsvm -n 64
-//	ccsvm-sim -workload apsp   -system opencl -n 32
+//	ccsvm-sim -workload apsp   -system opencl -n 32 -json
 //	ccsvm-sim -workload sparse -system cpu -n 96 -density 0.02
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"ccsvm/internal/apu"
-	"ccsvm/internal/core"
-	"ccsvm/internal/workloads"
+	"ccsvm"
 )
 
 func main() {
-	workload := flag.String("workload", "matmul", "matmul, apsp, barneshut, sparse, vectoradd")
-	system := flag.String("system", "ccsvm", "ccsvm, cpu, opencl, pthreads")
+	workload := flag.String("workload", "matmul", "workload name (see -list)")
+	system := flag.String("system", "ccsvm", "system name (see -list)")
 	n := flag.Int("n", 32, "problem size (matrix dimension, vertices, bodies, or elements)")
 	density := flag.Float64("density", 0.01, "non-zero density for the sparse workload")
 	seed := flag.Int64("seed", 42, "input seed")
 	includeInit := flag.Bool("opencl-init", false, "include OpenCL platform init and JIT in the measured region")
+	list := flag.Bool("list", false, "list every runnable (workload, system) pair and exit")
+	asJSON := flag.Bool("json", false, "emit the result as one JSON line instead of text")
 	flag.Parse()
 
-	ccsvmCfg := core.DefaultConfig()
-	apuCfg := apu.DefaultConfig()
+	if *list {
+		for _, w := range ccsvm.Workloads() {
+			fmt.Printf("%-10s %s\n", w.Name, w.Description)
+			for _, kind := range w.SystemKinds() {
+				fmt.Printf("             %s/%s\n", w.Name, kind)
+			}
+		}
+		return
+	}
 
-	var (
-		res workloads.Result
-		err error
-	)
-	switch *workload + "/" + *system {
-	case "matmul/ccsvm":
-		res, err = workloads.MatMulXthreads(ccsvmCfg, *n, *seed)
-	case "matmul/cpu":
-		res, err = workloads.MatMulCPU(apuCfg, *n, *seed)
-	case "matmul/opencl":
-		res, err = workloads.MatMulOpenCL(apuCfg, *n, *seed, *includeInit)
-	case "apsp/ccsvm":
-		res, err = workloads.APSPXthreads(ccsvmCfg, *n, *seed)
-	case "apsp/cpu":
-		res, err = workloads.APSPCPU(apuCfg, *n, *seed)
-	case "apsp/opencl":
-		res, err = workloads.APSPOpenCL(apuCfg, *n, *seed, *includeInit)
-	case "barneshut/ccsvm":
-		res, err = workloads.BarnesHutXthreads(ccsvmCfg, *n, *seed)
-	case "barneshut/cpu":
-		res, err = workloads.BarnesHutCPU(apuCfg, *n, *seed)
-	case "barneshut/pthreads":
-		res, err = workloads.BarnesHutPthreads(apuCfg, *n, *seed)
-	case "sparse/ccsvm":
-		res, err = workloads.SparseMMXthreads(ccsvmCfg, *n, *density, *seed)
-	case "sparse/cpu":
-		res, err = workloads.SparseMMCPU(apuCfg, *n, *density, *seed)
-	case "vectoradd/ccsvm":
-		res, err = workloads.VectorAddXthreads(ccsvmCfg, *n, *seed)
-	case "vectoradd/opencl":
-		res, err = workloads.VectorAddOpenCL(apuCfg, *n, *seed, *includeInit)
-	default:
-		fmt.Fprintf(os.Stderr, "ccsvm-sim: unsupported combination %s on %s\n", *workload, *system)
+	w, ok := ccsvm.Lookup(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ccsvm-sim: unknown workload %q; -list shows the registry\n", *workload)
 		os.Exit(2)
 	}
+	sys, err := ccsvm.NewSystem(ccsvm.SystemKind(*system))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ccsvm-sim: %v\n", err)
+		os.Exit(2)
+	}
+	params := ccsvm.Params{N: *n, Density: *density, Seed: *seed, IncludeInit: *includeInit}
+
+	res, err := w.Run(sys, params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccsvm-sim: %v\n", err)
+		if errors.Is(err, ccsvm.ErrUnsupportedPair) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("workload:      %s (n=%d)\n", *workload, *n)
+
+	if *asJSON {
+		sink := ccsvm.NewJSONLSink(os.Stdout)
+		spec := ccsvm.RunSpec{Workload: w.Name, System: sys, Params: params}
+		if err := sink.Emit(ccsvm.RunResult{Spec: spec, Result: res}); err != nil {
+			fmt.Fprintf(os.Stderr, "ccsvm-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("workload:      %s (n=%d)\n", w.Name, *n)
 	fmt.Printf("system:        %s\n", res.Label)
 	fmt.Printf("measured time: %v\n", res.Time)
 	fmt.Printf("DRAM accesses: %d\n", res.DRAMAccesses)

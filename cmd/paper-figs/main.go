@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	paper-figs -fig all        # every experiment, quick sweep sizes
-//	paper-figs -fig 5 -full    # Figure 5 only, larger sweep
-//	paper-figs -fig table2     # the system-configuration table
+//	paper-figs -fig all             # every experiment, quick sweep sizes
+//	paper-figs -fig all -parallel 4 # same tables, sweeps fanned out over 4 workers
+//	paper-figs -fig 5 -full         # Figure 5 only, larger sweep
+//	paper-figs -fig table2          # the system-configuration table
+//
+// Every (workload, system) pair is resolved through the ccsvm registry and
+// executed by the facade's Runner; -parallel changes only wall-clock time,
+// never the numbers in the tables (each simulation is an independent
+// deterministic engine).
 package main
 
 import (
@@ -23,11 +29,13 @@ func main() {
 	fig := flag.String("fig", "all", "which experiment to run: all, table2, 5, 6, 7, 8a, 8b, 9, code")
 	full := flag.Bool("full", false, "use the larger sweep sizes (slower)")
 	seed := flag.Int64("seed", 42, "workload input seed")
+	parallel := flag.Int("parallel", 1, "simulations to run concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.Full = *full
 	opts.Seed = *seed
+	opts.Parallel = *parallel
 
 	run := func(name string, fn func(experiments.Options) (*stats.Table, error)) {
 		tb, err := fn(opts)

@@ -6,9 +6,37 @@
 // baseline machine, and the workloads and sweeps that regenerate every table
 // and figure of the paper's evaluation.
 //
-// The implementation lives under internal/; the runnable entry points are
-// cmd/paper-figs (regenerate the evaluation), cmd/ccsvm-sim (run one
-// benchmark on one system), and the programs under examples/. The root-level
-// bench_test.go holds one Go benchmark per figure. See README.md, DESIGN.md
-// and EXPERIMENTS.md.
+// The root package is the library's public facade. Its model:
+//
+//   - A System is one runnable machine: SystemCCSVM (the proposed chip),
+//     SystemCPU (one APU CPU core), SystemOpenCL (the loosely-coupled GPU),
+//     or SystemPthreads (the APU's four CPU cores). Build one with NewSystem
+//     (Table 2 defaults) or from an explicit core.Config/apu.Config.
+//   - A Workload is a registered benchmark (matmul, apsp, barneshut, sparse,
+//     vectoradd) with one implementation per system it supports. Lookup and
+//     Workloads discover them; Workload.Run executes one, returning a Result
+//     (simulated time, off-chip DRAM traffic, functional verification).
+//     Asking for a pair with no implementation returns ErrUnsupportedPair.
+//   - A Runner executes a slice of RunSpecs across a bounded worker pool.
+//     Each simulation is an independent single-threaded event engine, so
+//     sweeps parallelize perfectly: results and sink output are
+//     bit-identical at any Parallel setting. Sinks stream results as a text
+//     table (NewTextSink) or JSON lines (NewJSONLSink).
+//
+// A minimal run:
+//
+//	w, _ := ccsvm.Lookup("matmul")
+//	sys, _ := ccsvm.NewSystem(ccsvm.SystemCCSVM)
+//	res, err := w.Run(sys, ccsvm.Params{N: 64, Seed: 42})
+//
+// And a parallel sweep:
+//
+//	runner := &ccsvm.Runner{Parallel: 8, Sinks: []ccsvm.Sink{ccsvm.NewJSONLSink(os.Stdout)}}
+//	results, err := runner.Run(ccsvm.Pairs(ccsvm.DefaultParams()))
+//
+// The simulator implementation lives under internal/; the runnable entry
+// points are cmd/paper-figs (regenerate the evaluation, with -parallel),
+// cmd/ccsvm-sim (run one registry pair; -list, -json), and the programs under
+// examples/. The root-level bench_test.go holds one Go benchmark per figure.
+// See README.md for a tour.
 package ccsvm

@@ -1,7 +1,8 @@
 // Example barneshut: the Figure 7 experiment at a single body count —
 // pointer-chasing Barnes-Hut n-body with its parallel force phase offloaded
 // to the MTTOP cores under CCSVM, compared against one APU CPU core and a
-// 4-thread pthreads run on the APU's CPU cores.
+// 4-thread pthreads run on the APU's CPU cores. All three runs are resolved
+// through the facade registry.
 //
 // Run with:  go run ./examples/barneshut -bodies 256
 package main
@@ -11,10 +12,8 @@ import (
 	"fmt"
 	"log"
 
-	"ccsvm/internal/apu"
-	"ccsvm/internal/core"
+	"ccsvm"
 	"ccsvm/internal/stats"
-	"ccsvm/internal/workloads"
 )
 
 func main() {
@@ -22,22 +21,28 @@ func main() {
 	seed := flag.Int64("seed", 1, "input seed")
 	flag.Parse()
 
-	cpu, err := workloads.BarnesHutCPU(apu.DefaultConfig(), *bodies, *seed)
-	if err != nil {
-		log.Fatal(err)
+	w, ok := ccsvm.Lookup("barneshut")
+	if !ok {
+		log.Fatal("barneshut not registered")
 	}
-	pth, err := workloads.BarnesHutPthreads(apu.DefaultConfig(), *bodies, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ccsvm, err := workloads.BarnesHutXthreads(core.DefaultConfig(), *bodies, *seed)
-	if err != nil {
-		log.Fatal(err)
+	p := ccsvm.Params{N: *bodies, Seed: *seed}
+
+	var cpu ccsvm.Result
+	var results []ccsvm.Result
+	for _, kind := range w.SystemKinds() {
+		r, err := w.Run(ccsvm.MustSystem(kind), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if kind == ccsvm.SystemCPU {
+			cpu = r
+		}
+		results = append(results, r)
 	}
 
 	t := stats.NewTable(fmt.Sprintf("Barnes-Hut, %d bodies, 2 timesteps", *bodies),
 		"System", "Time", "Speedup vs 1 CPU core", "DRAM accesses")
-	for _, r := range []workloads.Result{cpu, pth, ccsvm} {
+	for _, r := range results {
 		t.AddRow(r.Label, r.Time.String(), r.Speedup(cpu), r.DRAMAccesses)
 	}
 	fmt.Println(t.String())

@@ -1,6 +1,8 @@
 // Example matmul: the Figure 5 experiment at a single size — dense matrix
-// multiply offloaded three ways (CCSVM/xthreads, APU/OpenCL, one APU CPU
-// core), printing runtimes and off-chip traffic side by side.
+// multiply offloaded three ways (CCSVM/xthreads, APU/OpenCL full and no-init,
+// one APU CPU core). The sweep is declared as RunSpecs and executed by the
+// facade's Runner across a worker pool; the results are identical at any
+// parallelism.
 //
 // Run with:  go run ./examples/matmul -n 48
 package main
@@ -10,37 +12,37 @@ import (
 	"fmt"
 	"log"
 
-	"ccsvm/internal/apu"
-	"ccsvm/internal/core"
+	"ccsvm"
 	"ccsvm/internal/stats"
-	"ccsvm/internal/workloads"
 )
 
 func main() {
 	n := flag.Int("n", 48, "matrix dimension")
 	seed := flag.Int64("seed", 1, "input seed")
+	parallel := flag.Int("parallel", 4, "simulations to run concurrently")
 	flag.Parse()
 
-	cpu, err := workloads.MatMulCPU(apu.DefaultConfig(), *n, *seed)
+	p := ccsvm.Params{N: *n, Seed: *seed}
+	full := p
+	full.IncludeInit = true
+	specs := []ccsvm.RunSpec{
+		{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCPU), Params: p},
+		{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemOpenCL), Params: full},
+		{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemOpenCL), Params: p},
+		{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: p},
+	}
+
+	runner := &ccsvm.Runner{Parallel: *parallel}
+	res, err := runner.Run(specs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ocl, err := workloads.MatMulOpenCL(apu.DefaultConfig(), *n, *seed, false)
-	if err != nil {
-		log.Fatal(err)
-	}
-	oclFull, err := workloads.MatMulOpenCL(apu.DefaultConfig(), *n, *seed, true)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ccsvm, err := workloads.MatMulXthreads(core.DefaultConfig(), *n, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
+	cpu := res[0].Result
 
 	t := stats.NewTable(fmt.Sprintf("Dense matrix multiply, N=%d", *n),
 		"System", "Time", "Relative to CPU", "DRAM accesses")
-	for _, r := range []workloads.Result{cpu, oclFull, ocl, ccsvm} {
+	for _, rr := range res {
+		r := rr.Result
 		t.AddRow(r.Label, r.Time.String(), float64(r.Time)/float64(cpu.Time), r.DRAMAccesses)
 	}
 	fmt.Println(t.String())

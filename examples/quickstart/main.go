@@ -1,8 +1,10 @@
-// Quickstart: the paper's Figure 4 program written against this repository's
-// public API. A CPU thread allocates three vectors in cache-coherent shared
-// virtual memory, spawns one MTTOP thread per element with create_mthread,
-// waits on per-element done flags, and reads the sums back — no buffer
-// objects, no copies, no kernel-compilation step.
+// Quickstart: the paper's Figure 3 vs Figure 4 comparison written against the
+// public ccsvm facade. It looks up the vector-add workload in the registry
+// and runs it on the two machines that can express it — the CCSVM chip
+// (xthreads: allocate in shared virtual memory, spawn MTTOP threads, wait on
+// done flags) and the loosely-coupled APU (the full OpenCL stack: buffer
+// objects, staging copies, kernel JIT) — then prints the offload-cost gap
+// that motivates the paper.
 //
 // Run with:  go run ./examples/quickstart
 package main
@@ -11,72 +13,33 @@ import (
 	"fmt"
 	"log"
 
-	"ccsvm/internal/core"
-	"ccsvm/internal/mem"
-	"ccsvm/internal/xthreads"
+	"ccsvm"
 )
 
 const n = 256
 
 func main() {
-	machine := core.NewMachine(core.DefaultConfig())
-	defer machine.Shutdown()
+	w, ok := ccsvm.Lookup("vectoradd")
+	if !ok {
+		log.Fatal("vectoradd not registered")
+	}
+	params := ccsvm.Params{N: n, Seed: 1}
 
-	// The MTTOP kernel: the _MTTOP_ add() function of Figure 4.
-	addKernel := machine.RegisterKernel(func(ctx *xthreads.MTTOPContext) {
-		args := ctx.Args()
-		v1 := mem.VAddr(ctx.Load64(args + 0))
-		v2 := mem.VAddr(ctx.Load64(args + 8))
-		sum := mem.VAddr(ctx.Load64(args + 16))
-		done := mem.VAddr(ctx.Load64(args + 24))
-		tid := ctx.TID()
-		a := ctx.Load32(v1 + mem.VAddr(4*tid))
-		b := ctx.Load32(v2 + mem.VAddr(4*tid))
-		ctx.Compute(1)
-		ctx.Store32(sum+mem.VAddr(4*tid), a+b)
-		ctx.SignalSlot(done, 0)
-	})
-
-	var sumVA mem.VAddr
-	elapsed, err := machine.RunProgram(func(ctx *xthreads.CPUContext) {
-		// The _CPU_ main() of Figure 4.
-		v1 := ctx.Malloc(4 * n)
-		v2 := ctx.Malloc(4 * n)
-		sum := ctx.Malloc(4 * n)
-		done := ctx.Malloc(4 * n)
-		args := ctx.Malloc(32)
-		sumVA = sum
-		for i := 0; i < n; i++ {
-			ctx.Store32(v1+mem.VAddr(4*i), uint32(i))
-			ctx.Store32(v2+mem.VAddr(4*i), uint32(2*i))
-			ctx.Store32(done+mem.VAddr(4*i), xthreads.CondIdle)
-		}
-		ctx.Store64(args+0, uint64(v1))
-		ctx.Store64(args+8, uint64(v2))
-		ctx.Store64(args+16, uint64(sum))
-		ctx.Store64(args+24, uint64(done))
-
-		ctx.CreateMThreads(addKernel, args, 0, n-1) // mthread_create(0, 256, &add, &inputs)
-		ctx.Wait(done, 0, n-1)                      // mthread_wait(0, 255, inputs.done)
-	})
+	x, err := w.Run(ccsvm.MustSystem(ccsvm.SystemCCSVM), params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params.IncludeInit = true
+	ocl, err := w.Run(ccsvm.MustSystem(ccsvm.SystemOpenCL), params)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	ok := true
-	for i := 0; i < n; i++ {
-		if machine.MemReadUint32(sumVA+mem.VAddr(4*i)) != uint32(3*i) {
-			ok = false
-		}
+	fmt.Printf("vector add of %d elements, offload cost by programming model\n", n)
+	for _, r := range []ccsvm.Result{x, ocl} {
+		fmt.Printf("  %-18s time=%-12v dram=%-6d verified=%v\n",
+			r.Label, r.Time, r.DRAMAccesses, r.Checked)
 	}
-	fmt.Printf("vector add of %d elements on the CCSVM chip\n", n)
-	fmt.Printf("  simulated time:   %v\n", elapsed)
-	fmt.Printf("  DRAM accesses:    %d\n", machine.DRAMAccesses())
-	fmt.Printf("  results correct:  %v\n", ok)
-	fmt.Printf("  MTTOP page faults forwarded through the MIFD: ")
-	if v, found := machine.Stats.Lookup("mifd.page_faults_forwarded"); found {
-		fmt.Printf("%d\n", v)
-	} else {
-		fmt.Printf("0\n")
-	}
+	fmt.Printf("  xthreads offload is %.0fx cheaper than the full OpenCL stack\n",
+		x.Speedup(ocl))
 }

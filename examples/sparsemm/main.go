@@ -1,7 +1,8 @@
 // Example sparsemm: the Figure 8 experiment — sparse matrix multiply over
 // pointer-based, dynamically allocated linked-list matrices, with output
 // nodes allocated through mttop_malloc. Sweeps density at a fixed size to
-// show the mttop_malloc bottleneck growing with density.
+// show the mttop_malloc bottleneck growing with density; the whole sweep is
+// one RunSpec slice fanned out by the facade's Runner.
 //
 // Run with:  go run ./examples/sparsemm -n 64
 package main
@@ -11,29 +12,36 @@ import (
 	"fmt"
 	"log"
 
-	"ccsvm/internal/apu"
-	"ccsvm/internal/core"
+	"ccsvm"
 	"ccsvm/internal/stats"
-	"ccsvm/internal/workloads"
 )
 
 func main() {
 	n := flag.Int("n", 64, "matrix dimension")
 	seed := flag.Int64("seed", 1, "input seed")
+	parallel := flag.Int("parallel", 4, "simulations to run concurrently")
 	flag.Parse()
+
+	densities := []float64{0.01, 0.02, 0.04, 0.08}
+	var specs []ccsvm.RunSpec
+	for _, d := range densities {
+		p := ccsvm.Params{N: *n, Density: d, Seed: *seed}
+		specs = append(specs,
+			ccsvm.RunSpec{Workload: "sparse", System: ccsvm.MustSystem(ccsvm.SystemCPU), Params: p},
+			ccsvm.RunSpec{Workload: "sparse", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: p},
+		)
+	}
+	runner := &ccsvm.Runner{Parallel: *parallel}
+	res, err := runner.Run(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	t := stats.NewTable(fmt.Sprintf("Sparse matrix multiply, N=%d (pointer-based, mttop_malloc)", *n),
 		"Density %", "CPU time", "CCSVM time", "Speedup")
-	for _, density := range []float64{0.01, 0.02, 0.04, 0.08} {
-		cpu, err := workloads.SparseMMCPU(apu.DefaultConfig(), *n, density, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ccsvm, err := workloads.SparseMMXthreads(core.DefaultConfig(), *n, density, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		t.AddRow(density*100, cpu.Time.String(), ccsvm.Time.String(), ccsvm.Speedup(cpu))
+	for i, d := range densities {
+		cpu, x := res[2*i].Result, res[2*i+1].Result
+		t.AddRow(d*100, cpu.Time.String(), x.Time.String(), x.Speedup(cpu))
 	}
 	fmt.Println(t.String())
 }

@@ -1,0 +1,3 @@
+module ccsvm
+
+go 1.24

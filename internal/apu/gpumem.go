@@ -20,9 +20,11 @@ type GPUMemory struct {
 	readCache *cache.Array
 	readHit   sim.Duration
 
-	// writeBuf holds lines with pending partial writes; a full or evicted
-	// line costs one DRAM write.
+	// writeBuf holds lines with pending partial writes, mapped to their
+	// insertion sequence so eviction is FIFO (and deterministic); a full or
+	// evicted line costs one DRAM write.
 	writeBuf     map[mem.LineAddr]int
+	writeSeq     int
 	writeBufMax  int
 	combinedWr   *stats.Counter
 	readHits     *stats.Counter
@@ -85,7 +87,8 @@ func (g *GPUMemory) Access(req mem.Request, done func()) {
 		if len(g.writeBuf) >= g.writeBufMax {
 			g.flushOneLine()
 		}
-		g.writeBuf[line] = 1
+		g.writeSeq++
+		g.writeBuf[line] = g.writeSeq
 		g.uncombinedWr.Inc()
 		g.dram.Write(line, nil)
 		g.engine.Schedule(g.readHit, done)
@@ -109,9 +112,16 @@ func (g *GPUMemory) Access(req mem.Request, done func()) {
 }
 
 func (g *GPUMemory) flushOneLine() {
-	for line := range g.writeBuf {
-		delete(g.writeBuf, line)
-		return
+	oldest := mem.LineAddr(0)
+	oldestSeq := g.writeSeq + 1
+	for line, seq := range g.writeBuf {
+		if seq < oldestSeq {
+			oldestSeq = seq
+			oldest = line
+		}
+	}
+	if oldestSeq <= g.writeSeq {
+		delete(g.writeBuf, oldest)
 	}
 }
 

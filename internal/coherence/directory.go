@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"ccsvm/internal/cache"
 	"ccsvm/internal/dram"
@@ -62,6 +63,9 @@ func (e *dirEntry) sharerList(except noc.NodeID) []noc.NodeID {
 			out = append(out, s)
 		}
 	}
+	// Map iteration order is random; invalidations must go out in a fixed
+	// order or simulated timing wobbles between runs.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,30 +1,35 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation section (the experiment index E1–E8 in DESIGN.md). Each function
-// runs the relevant workloads on the relevant machines and returns a text
-// table with the same rows/series the paper reports; cmd/paper-figs prints
-// them and EXPERIMENTS.md records a captured run.
+// evaluation section (the experiment index E1–E8 in DESIGN.md). Each figure
+// declares its sweep as a slice of ccsvm.RunSpec, executes it through the
+// facade's Runner — optionally fanning out across Options.Parallel workers;
+// every simulation is an independent engine, so the results are bit-identical
+// at any parallelism — and shapes the results into a text table with the same
+// rows/series the paper reports. cmd/paper-figs prints the tables and
+// EXPERIMENTS.md records a captured run.
 package experiments
 
 import (
 	"fmt"
 
+	"ccsvm"
 	"ccsvm/internal/apu"
 	"ccsvm/internal/core"
 	"ccsvm/internal/stats"
-	"ccsvm/internal/workloads"
 )
 
-// Options selects the sweep sizes. Quick (the default) keeps every sweep
-// small enough to regenerate in a couple of minutes of host time; Full uses
-// larger problem sizes that take correspondingly longer but show the
-// crossovers more clearly.
+// Options selects the sweep sizes and execution fan-out. Quick (the default)
+// keeps every sweep small enough to regenerate in a couple of minutes of host
+// time; Full uses larger problem sizes that take correspondingly longer but
+// show the crossovers more clearly.
 type Options struct {
 	Full bool
 	Seed int64
+	// Parallel is the Runner worker-pool size; 0 means GOMAXPROCS.
+	Parallel int
 }
 
 // DefaultOptions returns the quick sweep.
-func DefaultOptions() Options { return Options{Full: false, Seed: 42} }
+func DefaultOptions() Options { return Options{Full: false, Seed: 42, Parallel: 1} }
 
 func (o Options) matmulSizes() []int {
 	if o.Full {
@@ -68,14 +73,26 @@ func (o Options) sparseFixedSize() int {
 	return 64
 }
 
-// ccsvmConfig is the Table 2 CCSVM chip.
-func ccsvmConfig() core.Config { return core.DefaultConfig() }
+// run executes a declared sweep through the facade Runner.
+func (o Options) run(specs []ccsvm.RunSpec) ([]ccsvm.RunResult, error) {
+	r := &ccsvm.Runner{Parallel: o.Parallel}
+	return r.Run(specs)
+}
 
-// apuConfig is the Table 2 APU.
-func apuConfig() apu.Config { return apu.DefaultConfig() }
+// spec builds one RunSpec on the named workload and a default-configured
+// system.
+func (o Options) spec(workload string, kind ccsvm.SystemKind, n int, density float64, includeInit bool) ccsvm.RunSpec {
+	return ccsvm.RunSpec{
+		Workload: workload,
+		System:   ccsvm.MustSystem(kind),
+		Params: ccsvm.Params{
+			N: n, Density: density, Seed: o.Seed, IncludeInit: includeInit,
+		},
+	}
+}
 
-// relative reports t as a multiple of the baseline.
-func relative(r, baseline workloads.Result) float64 {
+// relative reports r as a multiple of the baseline.
+func relative(r, baseline ccsvm.Result) float64 {
 	if baseline.Time == 0 {
 		return 0
 	}
@@ -84,8 +101,8 @@ func relative(r, baseline workloads.Result) float64 {
 
 // Table2 returns the system-configuration table (experiment E1).
 func Table2() *stats.Table {
-	c := ccsvmConfig()
-	a := apuConfig()
+	c := core.DefaultConfig()
+	a := apu.DefaultConfig()
 	t := stats.NewTable("Table 2: system configurations", "Parameter", "CCSVM (simulated)", "APU (simulated baseline)")
 	t.AddRow("CPU cores", c.NumCPUs, a.NumCPUs)
 	t.AddRow("CPU max IPC", 1/c.CPUCPI, 1/a.CPUCPI)
@@ -103,81 +120,70 @@ func Table2() *stats.Table {
 	return t
 }
 
-// Figure5 reproduces the dense matrix-multiply comparison: runtime of the APU
-// running OpenCL (full and without init/compile) and of CCSVM running
-// xthreads, relative to one APU CPU core, as a function of matrix size.
-func Figure5(o Options) (*stats.Table, error) {
-	t := stats.NewTable("Figure 5: dense matrix multiply (runtime relative to one APU CPU core; lower is better)",
-		"N", "APU/OpenCL full", "APU/OpenCL no-init", "CCSVM/xthreads", "CPU baseline (us)")
-	for _, n := range o.matmulSizes() {
-		cpu, err := workloads.MatMulCPU(apuConfig(), n, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 cpu n=%d: %w", n, err)
-		}
-		full, err := workloads.MatMulOpenCL(apuConfig(), n, o.Seed, true)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 opencl-full n=%d: %w", n, err)
-		}
-		noInit, err := workloads.MatMulOpenCL(apuConfig(), n, o.Seed, false)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 opencl n=%d: %w", n, err)
-		}
-		ccsvm, err := workloads.MatMulXthreads(ccsvmConfig(), n, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 ccsvm n=%d: %w", n, err)
-		}
-		t.AddRow(n, relative(full, cpu), relative(noInit, cpu), relative(ccsvm, cpu),
+// oclFigure is the shared shape of Figures 5 and 6: for each size, a CPU
+// baseline, the OpenCL full and no-init series, and CCSVM/xthreads, all
+// relative to the baseline.
+func oclFigure(o Options, workload, title, sizeCol string, sizes []int) (*stats.Table, error) {
+	var specs []ccsvm.RunSpec
+	for _, n := range sizes {
+		specs = append(specs,
+			o.spec(workload, ccsvm.SystemCPU, n, 0, false),
+			o.spec(workload, ccsvm.SystemOpenCL, n, 0, true),
+			o.spec(workload, ccsvm.SystemOpenCL, n, 0, false),
+			o.spec(workload, ccsvm.SystemCCSVM, n, 0, false),
+		)
+	}
+	res, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(title,
+		sizeCol, "APU/OpenCL full", "APU/OpenCL no-init", "CCSVM/xthreads", "CPU baseline (us)")
+	for i, n := range sizes {
+		cpu, full, noInit, x := res[4*i].Result, res[4*i+1].Result, res[4*i+2].Result, res[4*i+3].Result
+		t.AddRow(n, relative(full, cpu), relative(noInit, cpu), relative(x, cpu),
 			float64(cpu.Time)/1e6)
 	}
 	return t, nil
 }
 
+// Figure5 reproduces the dense matrix-multiply comparison: runtime of the APU
+// running OpenCL (full and without init/compile) and of CCSVM running
+// xthreads, relative to one APU CPU core, as a function of matrix size.
+func Figure5(o Options) (*stats.Table, error) {
+	return oclFigure(o, "matmul",
+		"Figure 5: dense matrix multiply (runtime relative to one APU CPU core; lower is better)",
+		"N", o.matmulSizes())
+}
+
 // Figure6 reproduces the all-pairs-shortest-path comparison.
 func Figure6(o Options) (*stats.Table, error) {
-	t := stats.NewTable("Figure 6: all-pairs shortest path (runtime relative to one APU CPU core; lower is better)",
-		"V", "APU/OpenCL full", "APU/OpenCL no-init", "CCSVM/xthreads", "CPU baseline (us)")
-	for _, n := range o.apspSizes() {
-		cpu, err := workloads.APSPCPU(apuConfig(), n, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 cpu v=%d: %w", n, err)
-		}
-		full, err := workloads.APSPOpenCL(apuConfig(), n, o.Seed, true)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 opencl-full v=%d: %w", n, err)
-		}
-		noInit, err := workloads.APSPOpenCL(apuConfig(), n, o.Seed, false)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 opencl v=%d: %w", n, err)
-		}
-		ccsvm, err := workloads.APSPXthreads(ccsvmConfig(), n, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 ccsvm v=%d: %w", n, err)
-		}
-		t.AddRow(n, relative(full, cpu), relative(noInit, cpu), relative(ccsvm, cpu),
-			float64(cpu.Time)/1e6)
-	}
-	return t, nil
+	return oclFigure(o, "apsp",
+		"Figure 6: all-pairs shortest path (runtime relative to one APU CPU core; lower is better)",
+		"V", o.apspSizes())
 }
 
 // Figure7 reproduces the Barnes-Hut comparison: CCSVM/xthreads and pthreads
 // on the 4 APU CPU cores, both as speedup over one APU CPU core.
 func Figure7(o Options) (*stats.Table, error) {
+	sizes := o.barnesHutSizes()
+	var specs []ccsvm.RunSpec
+	for _, n := range sizes {
+		specs = append(specs,
+			o.spec("barneshut", ccsvm.SystemCPU, n, 0, false),
+			o.spec("barneshut", ccsvm.SystemPthreads, n, 0, false),
+			o.spec("barneshut", ccsvm.SystemCCSVM, n, 0, false),
+		)
+	}
+	res, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 7: Barnes-Hut n-body (speedup over one APU CPU core; higher is better)",
 		"Bodies", "APU pthreads x4", "CCSVM/xthreads", "CPU baseline (us)")
-	for _, n := range o.barnesHutSizes() {
-		cpu, err := workloads.BarnesHutCPU(apuConfig(), n, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 cpu bodies=%d: %w", n, err)
-		}
-		pth, err := workloads.BarnesHutPthreads(apuConfig(), n, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 pthreads bodies=%d: %w", n, err)
-		}
-		ccsvm, err := workloads.BarnesHutXthreads(ccsvmConfig(), n, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 ccsvm bodies=%d: %w", n, err)
-		}
-		t.AddRow(n, pth.Speedup(cpu), ccsvm.Speedup(cpu), float64(cpu.Time)/1e6)
+	for i, n := range sizes {
+		cpu, pth, x := res[3*i].Result, res[3*i+1].Result, res[3*i+2].Result
+		t.AddRow(n, pth.Speedup(cpu), x.Speedup(cpu), float64(cpu.Time)/1e6)
 	}
 	return t, nil
 }
@@ -186,18 +192,23 @@ func Figure7(o Options) (*stats.Table, error) {
 // density (speedup of CCSVM/xthreads over one APU CPU core).
 func Figure8Left(o Options) (*stats.Table, error) {
 	const density = 0.01
+	sizes := o.sparseSizes()
+	var specs []ccsvm.RunSpec
+	for _, n := range sizes {
+		specs = append(specs,
+			o.spec("sparse", ccsvm.SystemCPU, n, density, false),
+			o.spec("sparse", ccsvm.SystemCCSVM, n, density, false),
+		)
+	}
+	res, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 8 (left): sparse matmul, fixed 1% density (speedup over one APU CPU core)",
 		"N", "CCSVM/xthreads speedup", "CPU baseline (us)")
-	for _, n := range o.sparseSizes() {
-		cpu, err := workloads.SparseMMCPU(apuConfig(), n, density, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig8a cpu n=%d: %w", n, err)
-		}
-		ccsvm, err := workloads.SparseMMXthreads(ccsvmConfig(), n, density, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig8a ccsvm n=%d: %w", n, err)
-		}
-		t.AddRow(n, ccsvm.Speedup(cpu), float64(cpu.Time)/1e6)
+	for i, n := range sizes {
+		cpu, x := res[2*i].Result, res[2*i+1].Result
+		t.AddRow(n, x.Speedup(cpu), float64(cpu.Time)/1e6)
 	}
 	return t, nil
 }
@@ -206,18 +217,23 @@ func Figure8Left(o Options) (*stats.Table, error) {
 // size.
 func Figure8Right(o Options) (*stats.Table, error) {
 	n := o.sparseFixedSize()
+	densities := o.sparseDensities()
+	var specs []ccsvm.RunSpec
+	for _, d := range densities {
+		specs = append(specs,
+			o.spec("sparse", ccsvm.SystemCPU, n, d, false),
+			o.spec("sparse", ccsvm.SystemCCSVM, n, d, false),
+		)
+	}
+	res, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(fmt.Sprintf("Figure 8 (right): sparse matmul, fixed N=%d (speedup over one APU CPU core)", n),
 		"Density %", "CCSVM/xthreads speedup", "CPU baseline (us)")
-	for _, d := range o.sparseDensities() {
-		cpu, err := workloads.SparseMMCPU(apuConfig(), n, d, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig8b cpu d=%v: %w", d, err)
-		}
-		ccsvm, err := workloads.SparseMMXthreads(ccsvmConfig(), n, d, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig8b ccsvm d=%v: %w", d, err)
-		}
-		t.AddRow(d*100, ccsvm.Speedup(cpu), float64(cpu.Time)/1e6)
+	for i, d := range densities {
+		cpu, x := res[2*i].Result, res[2*i+1].Result
+		t.AddRow(d*100, x.Speedup(cpu), float64(cpu.Time)/1e6)
 	}
 	return t, nil
 }
@@ -225,22 +241,24 @@ func Figure8Right(o Options) (*stats.Table, error) {
 // Figure9 reproduces the off-chip DRAM access comparison for dense matrix
 // multiply.
 func Figure9(o Options) (*stats.Table, error) {
+	sizes := o.matmulSizes()
+	var specs []ccsvm.RunSpec
+	for _, n := range sizes {
+		specs = append(specs,
+			o.spec("matmul", ccsvm.SystemCPU, n, 0, false),
+			o.spec("matmul", ccsvm.SystemOpenCL, n, 0, false),
+			o.spec("matmul", ccsvm.SystemCCSVM, n, 0, false),
+		)
+	}
+	res, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 9: DRAM accesses for dense matrix multiply (lower is better)",
 		"N", "APU CPU core", "APU/OpenCL", "CCSVM/xthreads")
-	for _, n := range o.matmulSizes() {
-		cpu, err := workloads.MatMulCPU(apuConfig(), n, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 cpu n=%d: %w", n, err)
-		}
-		ocl, err := workloads.MatMulOpenCL(apuConfig(), n, o.Seed, false)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 opencl n=%d: %w", n, err)
-		}
-		ccsvm, err := workloads.MatMulXthreads(ccsvmConfig(), n, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 ccsvm n=%d: %w", n, err)
-		}
-		t.AddRow(n, cpu.DRAMAccesses, ocl.DRAMAccesses, ccsvm.DRAMAccesses)
+	for i, n := range sizes {
+		cpu, ocl, x := res[3*i].Result, res[3*i+1].Result, res[3*i+2].Result
+		t.AddRow(n, cpu.DRAMAccesses, ocl.DRAMAccesses, x.DRAMAccesses)
 	}
 	return t, nil
 }
@@ -250,23 +268,20 @@ func Figure9(o Options) (*stats.Table, error) {
 // vs through xthreads.
 func CodeComparison(o Options) (*stats.Table, error) {
 	const n = 256
-	x, err := workloads.VectorAddXthreads(ccsvmConfig(), n, o.Seed)
-	if err != nil {
-		return nil, err
+	specs := []ccsvm.RunSpec{
+		o.spec("vectoradd", ccsvm.SystemCCSVM, n, 0, false),
+		o.spec("vectoradd", ccsvm.SystemOpenCL, n, 0, false),
+		o.spec("vectoradd", ccsvm.SystemOpenCL, n, 0, true),
 	}
-	oclFull, err := workloads.VectorAddOpenCL(apuConfig(), n, o.Seed, true)
-	if err != nil {
-		return nil, err
-	}
-	oclNoInit, err := workloads.VectorAddOpenCL(apuConfig(), n, o.Seed, false)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figures 3/4: 256-element vector add, offload cost by programming model",
 		"System", "Offload time", "DRAM accesses")
-	t.AddRow(x.Label, x.Time.String(), x.DRAMAccesses)
-	t.AddRow(oclNoInit.Label, oclNoInit.Time.String(), oclNoInit.DRAMAccesses)
-	t.AddRow(oclFull.Label, oclFull.Time.String(), oclFull.DRAMAccesses)
+	for _, rr := range res {
+		t.AddRow(rr.Result.Label, rr.Result.Time.String(), rr.Result.DRAMAccesses)
+	}
 	return t, nil
 }
 

@@ -62,6 +62,10 @@ type Engine struct {
 	events  eventHeap
 	stopped bool
 
+	// pending counts non-canceled events still in the heap, so Pending() —
+	// called from hot monitoring paths — is O(1) instead of a heap scan.
+	pending int
+
 	// executed counts events that have run, for debugging and stats.
 	executed uint64
 }
@@ -75,15 +79,7 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports how many scheduled (non-canceled) events remain.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return e.pending }
 
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -98,6 +94,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	ev := &Event{when: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, ev)
+	e.pending++
 	return ev
 }
 
@@ -112,11 +109,12 @@ func (e *Engine) Schedule(delay Duration, fn func()) *Event {
 // Cancel removes a previously scheduled event. Canceling an already-fired or
 // already-canceled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+	if ev == nil || ev.canceled || ev.index < 0 {
 		return
 	}
 	ev.canceled = true
 	ev.fn = nil
+	e.pending--
 }
 
 // Step runs the single next event. It returns false when the queue is empty.
@@ -129,6 +127,7 @@ func (e *Engine) Step() bool {
 		e.now = ev.when
 		fn := ev.fn
 		ev.fn = nil
+		e.pending--
 		e.executed++
 		fn()
 		return true

@@ -237,3 +237,51 @@ func TestTickerPauseStopsCallbacks(t *testing.T) {
 		t.Fatalf("count = %d, want 3", count)
 	}
 }
+
+// TestPendingCounter exercises the O(1) pending counter against schedule,
+// cancel, double-cancel, cancel-after-fire, and partial-run sequences.
+func TestPendingCounter(t *testing.T) {
+	e := NewEngine()
+	if e.Pending() != 0 {
+		t.Fatalf("fresh engine Pending() = %d", e.Pending())
+	}
+	a := e.At(10, func() {})
+	b := e.At(20, func() {})
+	c := e.At(30, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", e.Pending())
+	}
+	e.Cancel(b)
+	if e.Pending() != 2 {
+		t.Fatalf("after cancel Pending() = %d, want 2", e.Pending())
+	}
+	e.Cancel(b) // double cancel is a no-op
+	if e.Pending() != 2 {
+		t.Fatalf("after double cancel Pending() = %d, want 2", e.Pending())
+	}
+	if !e.Step() {
+		t.Fatal("Step found no event")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("after step Pending() = %d, want 1", e.Pending())
+	}
+	e.Cancel(a) // already fired: no-op
+	if e.Pending() != 1 {
+		t.Fatalf("cancel of fired event changed Pending() to %d", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("after Run Pending() = %d, want 0", e.Pending())
+	}
+	e.Cancel(c)
+	if e.Pending() != 0 {
+		t.Fatalf("cancel after run changed Pending() to %d", e.Pending())
+	}
+	// RunUntil leaves later events pending.
+	e.Schedule(5, func() {})
+	e.Schedule(500, func() {})
+	e.RunFor(10)
+	if e.Pending() != 1 {
+		t.Fatalf("after RunFor Pending() = %d, want 1", e.Pending())
+	}
+}

@@ -210,3 +210,22 @@ func APSPOpenCL(cfg apu.Config, n int, seed int64, includeInit bool) (Result, er
 	}
 	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
 }
+
+func init() {
+	Register(Workload{
+		Name:            "apsp",
+		Description:     "all-pairs shortest path, Floyd-Warshall (Figure 6)",
+		UsesIncludeInit: true,
+		Runners: map[SystemKind]RunFunc{
+			SystemCCSVM: func(sys System, p Params) (Result, error) {
+				return APSPXthreads(sys.CCSVM, p.N, p.Seed)
+			},
+			SystemCPU: func(sys System, p Params) (Result, error) {
+				return APSPCPU(sys.APU, p.N, p.Seed)
+			},
+			SystemOpenCL: func(sys System, p Params) (Result, error) {
+				return APSPOpenCL(sys.APU, p.N, p.Seed, p.IncludeInit)
+			},
+		},
+	})
+}

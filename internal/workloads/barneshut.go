@@ -409,3 +409,21 @@ func barnesHutHost(cfg apu.Config, nBodies int, seed int64, nThreads int) (Resul
 	}
 	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
 }
+
+func init() {
+	Register(Workload{
+		Name:        "barneshut",
+		Description: "Barnes-Hut n-body, pointer-chasing quadtree (Figure 7)",
+		Runners: map[SystemKind]RunFunc{
+			SystemCCSVM: func(sys System, p Params) (Result, error) {
+				return BarnesHutXthreads(sys.CCSVM, p.N, p.Seed)
+			},
+			SystemCPU: func(sys System, p Params) (Result, error) {
+				return BarnesHutCPU(sys.APU, p.N, p.Seed)
+			},
+			SystemPthreads: func(sys System, p Params) (Result, error) {
+				return BarnesHutPthreads(sys.APU, p.N, p.Seed)
+			},
+		},
+	})
+}

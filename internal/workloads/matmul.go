@@ -221,3 +221,22 @@ func MatMulOpenCL(cfg apu.Config, n int, seed int64, includeInit bool) (Result, 
 	}
 	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
 }
+
+func init() {
+	Register(Workload{
+		Name:            "matmul",
+		Description:     "dense matrix multiply (Figures 5 and 9)",
+		UsesIncludeInit: true,
+		Runners: map[SystemKind]RunFunc{
+			SystemCCSVM: func(sys System, p Params) (Result, error) {
+				return MatMulXthreads(sys.CCSVM, p.N, p.Seed)
+			},
+			SystemCPU: func(sys System, p Params) (Result, error) {
+				return MatMulCPU(sys.APU, p.N, p.Seed)
+			},
+			SystemOpenCL: func(sys System, p Params) (Result, error) {
+				return MatMulOpenCL(sys.APU, p.N, p.Seed, p.IncludeInit)
+			},
+		},
+	})
+}

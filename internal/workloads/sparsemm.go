@@ -255,3 +255,19 @@ func smVerify(read64 func(mem.VAddr) uint64, read32 func(mem.VAddr) uint32,
 	}
 	return nil
 }
+
+func init() {
+	Register(Workload{
+		Name:        "sparse",
+		Description: "sparse matrix multiply over linked lists, mttop_malloc (Figure 8)",
+		UsesDensity: true,
+		Runners: map[SystemKind]RunFunc{
+			SystemCCSVM: func(sys System, p Params) (Result, error) {
+				return SparseMMXthreads(sys.CCSVM, p.N, p.Density, p.Seed)
+			},
+			SystemCPU: func(sys System, p Params) (Result, error) {
+				return SparseMMCPU(sys.APU, p.N, p.Density, p.Seed)
+			},
+		},
+	})
+}

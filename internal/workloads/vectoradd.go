@@ -149,3 +149,19 @@ func VectorAddOpenCL(cfg apu.Config, n int, seed int64, includeInit bool) (Resul
 	}
 	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
 }
+
+func init() {
+	Register(Workload{
+		Name:            "vectoradd",
+		Description:     "vector add, the Figure 3/4 offload-cost comparison",
+		UsesIncludeInit: true,
+		Runners: map[SystemKind]RunFunc{
+			SystemCCSVM: func(sys System, p Params) (Result, error) {
+				return VectorAddXthreads(sys.CCSVM, p.N, p.Seed)
+			},
+			SystemOpenCL: func(sys System, p Params) (Result, error) {
+				return VectorAddOpenCL(sys.APU, p.N, p.Seed, p.IncludeInit)
+			},
+		},
+	})
+}

@@ -1,0 +1,232 @@
+package ccsvm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"ccsvm/internal/stats"
+)
+
+// RunSpec names one simulation to run: a registered workload, the system to
+// run it on, and its parameters. Tag is an optional caller label carried
+// through to the RunResult and the sinks.
+type RunSpec struct {
+	Workload string
+	System   System
+	Params   Params
+	Tag      string
+}
+
+// String formats the spec as "workload/system(n=.. ...)", including every
+// parameter that distinguishes sweep rows so error messages identify the
+// exact failing run.
+func (s RunSpec) String() string {
+	out := fmt.Sprintf("%s/%s(n=%d seed=%d", s.Workload, s.System.Kind, s.Params.N, s.Params.Seed)
+	if s.Params.Density != 0 {
+		out += fmt.Sprintf(" d=%v", s.Params.Density)
+	}
+	if s.Params.IncludeInit {
+		out += " +init"
+	}
+	return out + ")"
+}
+
+// RunResult is the outcome of one RunSpec: the spec itself, its index in the
+// sweep, and either a Result or an error (lookup failure, unsupported pair,
+// or a simulation error).
+type RunResult struct {
+	Spec   RunSpec
+	Index  int
+	Result Result
+	Err    error
+}
+
+// Sink consumes a stream of RunResults. Runner.Run delivers results to every
+// sink in spec order regardless of the degree of parallelism, then calls
+// Close once the sweep is complete.
+type Sink interface {
+	Emit(RunResult) error
+	Close() error
+}
+
+// Runner fans a list of RunSpecs out across a bounded worker pool. Each
+// simulation is an independent single-threaded discrete-event engine, so a
+// sweep parallelizes perfectly and the per-run results are bit-identical to a
+// sequential run.
+type Runner struct {
+	// Parallel is the worker-pool size. Zero or negative means GOMAXPROCS.
+	Parallel int
+	// Sinks receive every result, in spec order. Optional.
+	Sinks []Sink
+}
+
+// Run executes every spec and returns the results indexed like specs. The
+// returned error joins every per-run error (and any sink error); the results
+// slice is always complete, with failed runs carrying their error.
+func (r *Runner) Run(specs []RunSpec) ([]RunResult, error) {
+	workers := r.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]RunResult, len(specs))
+	if len(specs) == 0 {
+		return results, r.closeSinks(nil)
+	}
+
+	jobs := make(chan int)
+	// Buffered so a finished worker never blocks on sink emission speed.
+	done := make(chan int, len(specs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(specs[i], i)
+				done <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range specs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(done)
+	}()
+
+	// Stream to sinks in spec order: hold completed results until everything
+	// before them has been emitted, so parallel and sequential sweeps produce
+	// byte-identical sink output.
+	var errs []error
+	ready := make([]bool, len(specs))
+	next := 0
+	for i := range done {
+		ready[i] = true
+		for next < len(specs) && ready[next] {
+			if err := results[next].Err; err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", specs[next], err))
+			}
+			for _, sink := range r.Sinks {
+				if err := sink.Emit(results[next]); err != nil {
+					errs = append(errs, fmt.Errorf("sink: %w", err))
+				}
+			}
+			next++
+		}
+	}
+	return results, r.closeSinks(errs)
+}
+
+func (r *Runner) closeSinks(errs []error) error {
+	for _, sink := range r.Sinks {
+		if err := sink.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("sink close: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// runOne resolves and executes a single spec through the registry.
+func runOne(spec RunSpec, index int) RunResult {
+	rr := RunResult{Spec: spec, Index: index}
+	w, ok := Lookup(spec.Workload)
+	if !ok {
+		rr.Err = fmt.Errorf("unknown workload %q", spec.Workload)
+		return rr
+	}
+	rr.Result, rr.Err = w.Run(spec.System, spec.Params)
+	return rr
+}
+
+// TextSink accumulates results into a column-aligned text table (via
+// internal/stats) and renders it to the writer on Close.
+type TextSink struct {
+	w     io.Writer
+	table *stats.Table
+}
+
+// NewTextSink builds a text sink with the given table title.
+func NewTextSink(w io.Writer, title string) *TextSink {
+	return &TextSink{
+		w: w,
+		table: stats.NewTable(title,
+			"Workload", "System", "N", "Density", "Init", "Tag", "Time", "DRAM", "Checked", "Error"),
+	}
+}
+
+// Emit adds one result row.
+func (s *TextSink) Emit(r RunResult) error {
+	errText := ""
+	if r.Err != nil {
+		errText = r.Err.Error()
+	}
+	s.table.AddRow(r.Spec.Workload, string(r.Spec.System.Kind), r.Spec.Params.N,
+		r.Spec.Params.Density, r.Spec.Params.IncludeInit, r.Spec.Tag,
+		r.Result.Time.String(), r.Result.DRAMAccesses, r.Result.Checked, errText)
+	return nil
+}
+
+// Close renders the table.
+func (s *TextSink) Close() error {
+	_, err := fmt.Fprintln(s.w, s.table.String())
+	return err
+}
+
+// jsonRecord is the JSON-lines schema for one run.
+type jsonRecord struct {
+	Workload     string  `json:"workload"`
+	System       string  `json:"system"`
+	N            int     `json:"n"`
+	Density      float64 `json:"density,omitempty"`
+	Seed         int64   `json:"seed"`
+	IncludeInit  bool    `json:"include_init,omitempty"`
+	Tag          string  `json:"tag,omitempty"`
+	Label        string  `json:"label,omitempty"`
+	SimTimePs    int64   `json:"sim_time_ps"`
+	DRAMAccesses uint64  `json:"dram_accesses"`
+	Checked      bool    `json:"checked"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// JSONLSink writes one JSON object per result, suitable for jq and tooling.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink builds a JSON-lines sink on the writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one line.
+func (s *JSONLSink) Emit(r RunResult) error {
+	rec := jsonRecord{
+		Workload:     r.Spec.Workload,
+		System:       string(r.Spec.System.Kind),
+		N:            r.Spec.Params.N,
+		Density:      r.Spec.Params.Density,
+		Seed:         r.Spec.Params.Seed,
+		IncludeInit:  r.Spec.Params.IncludeInit,
+		Tag:          r.Spec.Tag,
+		Label:        r.Result.Label,
+		SimTimePs:    int64(r.Result.Time),
+		DRAMAccesses: r.Result.DRAMAccesses,
+		Checked:      r.Result.Checked,
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+	}
+	return s.enc.Encode(rec)
+}
+
+// Close is a no-op; JSON lines are flushed as they are emitted.
+func (s *JSONLSink) Close() error { return nil }
