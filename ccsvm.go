@@ -1,6 +1,8 @@
 package ccsvm
 
 import (
+	"fmt"
+
 	"ccsvm/internal/apu"
 	"ccsvm/internal/core"
 	"ccsvm/internal/workloads"
@@ -39,6 +41,74 @@ const (
 // ErrUnsupportedPair is returned (wrapped) by Workload.Run and Runner.Run for
 // a (workload, system) pair with no implementation.
 var ErrUnsupportedPair = workloads.ErrUnsupportedPair
+
+// Design-space exploration: named machine presets and dotted-path parameter
+// overrides (see ARCHITECTURE.md, "Sweeping the design space").
+type (
+	// Preset is a named, documented variant of one machine's configuration.
+	Preset = workloads.Preset
+	// MachineKind names one of the two simulated chips ("ccsvm" or "apu").
+	MachineKind = workloads.MachineKind
+	// OverrideError reports a failed parameter override with its dotted
+	// path, offending value, and a sentinel classifying the failure.
+	OverrideError = workloads.OverrideError
+)
+
+// The two machines of the paper's comparison.
+const (
+	MachineCCSVM = workloads.MachineCCSVM
+	MachineAPU   = workloads.MachineAPU
+)
+
+// Typed failures of the override layer, matched with errors.Is.
+var (
+	// ErrUnknownPath reports a dotted path that names no configuration field.
+	ErrUnknownPath = workloads.ErrUnknownPath
+	// ErrBadValue reports a value that does not parse as the field's type.
+	ErrBadValue = workloads.ErrBadValue
+	// ErrOutOfRange reports a value that leaves the configuration invalid.
+	ErrOutOfRange = workloads.ErrOutOfRange
+	// ErrMachineMismatch reports a preset or override applied to a system
+	// that runs on the other machine.
+	ErrMachineMismatch = workloads.ErrMachineMismatch
+)
+
+// RegisterPreset adds a machine preset to the registry. The built-in presets
+// register themselves; external packages may add more before running sweeps.
+func RegisterPreset(p Preset) { workloads.RegisterPreset(p) }
+
+// LookupPreset finds a registered preset by name; the result is a copy, so
+// mutating it never affects the registry.
+func LookupPreset(name string) (Preset, bool) { return workloads.LookupPreset(name) }
+
+// Presets returns every registered machine preset sorted by name.
+func Presets() []Preset { return workloads.Presets() }
+
+// LookupPresetSystem builds a runnable System of the given kind from the
+// named preset — the one-call path the CLIs use. Unknown presets are a plain
+// error; a kind on the wrong machine wraps ErrMachineMismatch.
+func LookupPresetSystem(name string, kind SystemKind) (System, error) {
+	p, ok := workloads.LookupPreset(name)
+	if !ok {
+		return System{}, fmt.Errorf("unknown preset %q (see Presets or ccsvm-sim -list)", name)
+	}
+	return p.System(kind)
+}
+
+// Override assigns one configuration field of the system by dotted path
+// ("ccsvm.MTTOPIssueWidth", "apu.OpenCL.KernelLaunch"). Failures are typed:
+// ErrUnknownPath, ErrBadValue, ErrOutOfRange, or ErrMachineMismatch.
+func Override(sys *System, path, value string) error { return workloads.Set(sys, path, value) }
+
+// ApplyOverrides applies "path=value" assignments in order, stopping at the
+// first failure.
+func ApplyOverrides(sys *System, assignments []string) error {
+	return workloads.Apply(sys, assignments)
+}
+
+// OverridePaths enumerates every settable dotted path of a machine's
+// configuration, suffixed with its type.
+func OverridePaths(machine MachineKind) []string { return workloads.OverridePaths(machine) }
 
 // Register adds a workload to the registry. The built-in benchmarks register
 // themselves; external packages may register additional workloads before

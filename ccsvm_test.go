@@ -160,7 +160,7 @@ func TestRunnerParallelDeterminism(t *testing.T) {
 		t.Fatalf("result counts: seq=%d par=%d, want %d", len(seq), len(par), len(specs))
 	}
 	for i := range seq {
-		if seq[i].Result != par[i].Result {
+		if !reflect.DeepEqual(seq[i].Result, par[i].Result) {
 			t.Errorf("spec %v: parallel result %+v differs from sequential %+v",
 				specs[i], par[i].Result, seq[i].Result)
 		}

@@ -1,16 +1,23 @@
 // Command ccsvm-sim runs one benchmark on one simulated system and prints its
-// measured time, off-chip traffic, and verification status. It is the
-// single-experiment companion to cmd/paper-figs, and is entirely
-// registry-driven: every (workload, system) pair it can run comes from the
-// ccsvm facade, so a newly registered workload shows up here with no CLI
-// changes.
+// measured time, off-chip traffic, verification status, and per-run machine
+// metrics. It is the single-experiment companion to cmd/paper-figs, and is
+// entirely registry-driven: every workload, system, and machine preset it can
+// run comes from the ccsvm facade, so a newly registered workload or preset
+// shows up here with no CLI changes.
 //
 // Usage:
 //
-//	ccsvm-sim -list                                  # every runnable pair
+//	ccsvm-sim -list                                  # workloads, pairs, and presets
+//	ccsvm-sim -list-paths                            # every -set'able config path
 //	ccsvm-sim -workload matmul -system ccsvm -n 64
 //	ccsvm-sim -workload apsp   -system opencl -n 32 -json
 //	ccsvm-sim -workload sparse -system cpu -n 96 -density 0.02
+//
+// Design-space exploration:
+//
+//	ccsvm-sim -workload matmul -preset ccsvm-wide -n 64
+//	ccsvm-sim -workload matmul -system ccsvm -set ccsvm.MTTOPIssueWidth=16 -set ccsvm.DRAM.Latency=50ns
+//	ccsvm-sim -workload apsp -preset apu-fast-driver -system opencl -n 32
 package main
 
 import (
@@ -18,26 +25,54 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"ccsvm"
 )
 
+// setFlags collects repeated -set path=value assignments.
+type setFlags []string
+
+func (s *setFlags) String() string { return fmt.Sprint(*s) }
+func (s *setFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
 	workload := flag.String("workload", "matmul", "workload name (see -list)")
-	system := flag.String("system", "ccsvm", "system name (see -list)")
+	system := flag.String("system", "", "system kind: ccsvm, cpu, opencl, or pthreads (default: the preset's first kind, or ccsvm)")
+	preset := flag.String("preset", "", "machine preset to start from (see -list); default is the system's Table 2 configuration")
+	var sets setFlags
+	flag.Var(&sets, "set", "override one configuration field, e.g. -set ccsvm.MTTOPIssueWidth=16 (repeatable; see -list-paths)")
 	n := flag.Int("n", 32, "problem size (matrix dimension, vertices, bodies, or elements)")
 	density := flag.Float64("density", 0.01, "non-zero density for the sparse workload")
 	seed := flag.Int64("seed", 42, "input seed")
 	includeInit := flag.Bool("opencl-init", false, "include OpenCL platform init and JIT in the measured region")
-	list := flag.Bool("list", false, "list every runnable (workload, system) pair and exit")
+	list := flag.Bool("list", false, "list every runnable (workload, system) pair and machine preset, then exit")
+	listPaths := flag.Bool("list-paths", false, "list every -set'able configuration path, then exit")
 	asJSON := flag.Bool("json", false, "emit the result as one JSON line instead of text")
 	flag.Parse()
 
 	if *list {
+		fmt.Println("workloads:")
 		for _, w := range ccsvm.Workloads() {
-			fmt.Printf("%-10s %s\n", w.Name, w.Description)
+			fmt.Printf("  %-10s %s\n", w.Name, w.Description)
 			for _, kind := range w.SystemKinds() {
-				fmt.Printf("             %s/%s\n", w.Name, kind)
+				fmt.Printf("               %s/%s\n", w.Name, kind)
+			}
+		}
+		fmt.Println("presets:")
+		for _, p := range ccsvm.Presets() {
+			fmt.Printf("  %-18s [%s] %s\n", p.Name, p.Machine, p.Description)
+		}
+		return
+	}
+	if *listPaths {
+		for _, machine := range []ccsvm.MachineKind{ccsvm.MachineCCSVM, ccsvm.MachineAPU} {
+			for _, p := range ccsvm.OverridePaths(machine) {
+				fmt.Println(p)
 			}
 		}
 		return
@@ -48,8 +83,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccsvm-sim: unknown workload %q; -list shows the registry\n", *workload)
 		os.Exit(2)
 	}
-	sys, err := ccsvm.NewSystem(ccsvm.SystemKind(*system))
+	sys, err := buildSystem(*system, *preset)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccsvm-sim: %v\n", err)
+		os.Exit(2)
+	}
+	if err := ccsvm.ApplyOverrides(&sys, sets); err != nil {
 		fmt.Fprintf(os.Stderr, "ccsvm-sim: %v\n", err)
 		os.Exit(2)
 	}
@@ -66,7 +105,11 @@ func main() {
 
 	if *asJSON {
 		sink := ccsvm.NewJSONLSink(os.Stdout)
-		spec := ccsvm.RunSpec{Workload: w.Name, System: sys, Params: params}
+		// The tag records the full configuration provenance — preset and
+		// overrides — so JSONL lines from different sweep points are
+		// distinguishable downstream.
+		tag := strings.Join(append(presetTag(*preset), sets...), " ")
+		spec := ccsvm.RunSpec{Workload: w.Name, System: sys, Params: params, Tag: tag}
 		if err := sink.Emit(ccsvm.RunResult{Spec: spec, Result: res}); err != nil {
 			fmt.Fprintf(os.Stderr, "ccsvm-sim: %v\n", err)
 			os.Exit(1)
@@ -75,7 +118,69 @@ func main() {
 	}
 	fmt.Printf("workload:      %s (n=%d)\n", w.Name, *n)
 	fmt.Printf("system:        %s\n", res.Label)
+	if *preset != "" {
+		fmt.Printf("preset:        %s\n", *preset)
+	}
+	for _, s := range sets {
+		fmt.Printf("override:      %s\n", s)
+	}
 	fmt.Printf("measured time: %v\n", res.Time)
 	fmt.Printf("DRAM accesses: %d\n", res.DRAMAccesses)
 	fmt.Printf("verified:      %v\n", res.Checked)
+	if len(res.Metrics) > 0 {
+		fmt.Println("machine metrics:")
+		keys := make([]string, 0, len(res.Metrics))
+		for k := range res.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-24s %.6g\n", k, res.Metrics[k])
+		}
+	}
+}
+
+// presetTag wraps a non-empty preset name in a one-element slice for tag
+// assembly.
+func presetTag(preset string) []string {
+	if preset == "" {
+		return nil
+	}
+	return []string{preset}
+}
+
+// buildSystem resolves the -system and -preset flags into a configured
+// System: a preset's configuration when one is named (with -system picking
+// the kind, defaulting to the preset's first), otherwise the named system's
+// Table 2 default.
+func buildSystem(system, preset string) (ccsvm.System, error) {
+	if preset == "" {
+		if system == "" {
+			system = string(ccsvm.SystemCCSVM)
+		}
+		return ccsvm.NewSystem(ccsvm.SystemKind(system))
+	}
+	p, ok := ccsvm.LookupPreset(preset)
+	if !ok {
+		return ccsvm.System{}, fmt.Errorf("unknown preset %q; -list shows the registry", preset)
+	}
+	kind := p.DefaultKind()
+	if system != "" {
+		kind = ccsvm.SystemKind(system)
+		// Diagnose a typo as an unknown kind, not as a machine mismatch.
+		if !knownKind(kind) {
+			return ccsvm.System{}, fmt.Errorf("unknown system %q (have %v)", system, ccsvm.Systems())
+		}
+	}
+	return p.System(kind)
+}
+
+// knownKind reports whether kind names one of the registered system kinds.
+func knownKind(kind ccsvm.SystemKind) bool {
+	for _, k := range ccsvm.Systems() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
 }

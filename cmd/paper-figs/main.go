@@ -9,6 +9,8 @@
 //	paper-figs -fig all -parallel 4 # same tables, sweeps fanned out over 4 workers
 //	paper-figs -fig 5 -full         # Figure 5 only, larger sweep
 //	paper-figs -fig table2          # the system-configuration table
+//	paper-figs -fig lanes           # MTTOP issue-width sensitivity sweep
+//	paper-figs -fig cache           # shared-L2 size sensitivity sweep
 //
 // Every (workload, system) pair is resolved through the ccsvm registry and
 // executed by the facade's Runner; -parallel changes only wall-clock time,
@@ -26,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment to run: all, table2, 5, 6, 7, 8a, 8b, 9, code")
+	fig := flag.String("fig", "all", "which experiment to run: all, table2, 5, 6, 7, 8a, 8b, 9, code, lanes, cache")
 	full := flag.Bool("full", false, "use the larger sweep sizes (slower)")
 	seed := flag.Int64("seed", 42, "workload input seed")
 	parallel := flag.Int("parallel", 1, "simulations to run concurrently (0 = GOMAXPROCS)")
@@ -72,6 +74,10 @@ func main() {
 		run("figure 9", experiments.Figure9)
 	case "code":
 		run("code comparison", experiments.CodeComparison)
+	case "lanes":
+		run("lane sensitivity", experiments.LaneSensitivity)
+	case "cache":
+		run("cache sensitivity", experiments.CacheSensitivity)
 	default:
 		fmt.Fprintf(os.Stderr, "paper-figs: unknown figure %q\n", *fig)
 		os.Exit(2)

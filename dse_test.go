@@ -1,0 +1,142 @@
+package ccsvm_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ccsvm"
+)
+
+// overrideSweepSpecs builds a small lane-count sweep through the preset and
+// override layers: the ccsvm-small preset with three different MTTOP issue
+// widths on two workloads.
+func overrideSweepSpecs(t *testing.T) []ccsvm.RunSpec {
+	t.Helper()
+	p, ok := ccsvm.LookupPreset("ccsvm-small")
+	if !ok {
+		t.Fatal("ccsvm-small preset not registered")
+	}
+	var specs []ccsvm.RunSpec
+	for _, width := range []int{4, 8, 16} {
+		for _, wl := range []string{"vectoradd", "matmul"} {
+			sys, err := p.System(ccsvm.SystemCCSVM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ccsvm.Override(&sys, "ccsvm.MTTOPIssueWidth", strconv.Itoa(width)); err != nil {
+				t.Fatal(err)
+			}
+			specs = append(specs, ccsvm.RunSpec{
+				Workload: wl,
+				System:   sys,
+				Params:   ccsvm.Params{N: 12, Seed: 7, Density: 0.05},
+				Tag:      "w" + strconv.Itoa(width),
+			})
+		}
+	}
+	return specs
+}
+
+// TestOverrideSweepParallelDeterminism requires a sweep built from presets
+// plus overrides to produce byte-identical JSONL at parallel=1 and
+// parallel=4, and the issue-width override to actually change the machine.
+func TestOverrideSweepParallelDeterminism(t *testing.T) {
+	specs := overrideSweepSpecs(t)
+	var seqJSON, parJSON bytes.Buffer
+	seq, err := (&ccsvm.Runner{Parallel: 1, Sinks: []ccsvm.Sink{ccsvm.NewJSONLSink(&seqJSON)}}).Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&ccsvm.Runner{Parallel: 4, Sinks: []ccsvm.Sink{ccsvm.NewJSONLSink(&parJSON)}}).Run(specs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON.Bytes(), parJSON.Bytes()) {
+		t.Error("JSONL output differs between parallel=1 and parallel=4 for an override sweep")
+	}
+	// Width 4 and width 16 must give different simulated times for the same
+	// workload — otherwise the override silently did nothing.
+	if seq[0].Result.Time == seq[4].Result.Time {
+		t.Errorf("issue width 4 and 16 gave identical times (%v); override had no effect", seq[0].Result.Time)
+	}
+}
+
+// TestMetricsSurfacedBySinks requires per-run machine metrics on results and
+// in both sink formats.
+func TestMetricsSurfacedBySinks(t *testing.T) {
+	sys, err := ccsvm.LookupPresetSystem("ccsvm-small", ccsvm.SystemCCSVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []ccsvm.RunSpec{{Workload: "vectoradd", System: sys, Params: ccsvm.Params{N: 16, Seed: 7}}}
+	var jsonl, text bytes.Buffer
+	runner := &ccsvm.Runner{Sinks: []ccsvm.Sink{ccsvm.NewJSONLSink(&jsonl), ccsvm.NewTextSink(&text, "metrics probe")}}
+	res, err := runner.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res[0].Result.Metrics
+	for _, key := range []string{"l1.hit_rate", "noc.messages", "dram.reads", "mifd.tasks", "mttop.instructions"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("CCSVM run missing metric %q (have %v)", key, m)
+		}
+	}
+	if m["mifd.tasks"] < 1 {
+		t.Errorf("mifd.tasks = %v, want >= 1", m["mifd.tasks"])
+	}
+	if rate := m["l1.hit_rate"]; rate <= 0 || rate > 1 {
+		t.Errorf("l1.hit_rate = %v, want in (0, 1]", rate)
+	}
+
+	var rec struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(jsonl.Bytes(), &rec); err != nil {
+		t.Fatalf("JSONL line not valid JSON: %v", err)
+	}
+	if len(rec.Metrics) == 0 {
+		t.Errorf("JSONL record carries no metrics: %s", jsonl.String())
+	}
+	if !strings.Contains(text.String(), "L1 hit%") {
+		t.Errorf("text table has no machine-metric columns:\n%s", text.String())
+	}
+
+	// An APU-machine run reports the OpenCL overhead breakdown.
+	apuSys, err := ccsvm.LookupPresetSystem("apu-base", ccsvm.SystemOpenCL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := ccsvm.Lookup("vectoradd")
+	r, err := w.Run(apuSys, ccsvm.Params{N: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"opencl.init_us", "opencl.staging_us", "opencl.launch_us"} {
+		if r.Metrics[key] <= 0 {
+			t.Errorf("OpenCL run metric %q = %v, want > 0", key, r.Metrics[key])
+		}
+	}
+	if _, ok := r.Metrics["gpu.read_hit_rate"]; !ok {
+		t.Errorf("OpenCL run missing metric gpu.read_hit_rate (have %v)", r.Metrics)
+	}
+}
+
+// TestFacadeOverrideErrors exercises the typed sentinels through the facade.
+func TestFacadeOverrideErrors(t *testing.T) {
+	sys := ccsvm.MustSystem(ccsvm.SystemCCSVM)
+	if err := ccsvm.Override(&sys, "ccsvm.NoSuchKnob", "1"); !errors.Is(err, ccsvm.ErrUnknownPath) {
+		t.Errorf("unknown path: err = %v, want ErrUnknownPath", err)
+	}
+	if err := ccsvm.Override(&sys, "ccsvm.NumCPUs", "lots"); !errors.Is(err, ccsvm.ErrBadValue) {
+		t.Errorf("bad value: err = %v, want ErrBadValue", err)
+	}
+	if err := ccsvm.ApplyOverrides(&sys, []string{"ccsvm.NumCPUs=0"}); !errors.Is(err, ccsvm.ErrOutOfRange) {
+		t.Errorf("out of range: err = %v, want ErrOutOfRange", err)
+	}
+	if len(ccsvm.OverridePaths(ccsvm.MachineAPU)) == 0 {
+		t.Error("OverridePaths(apu) is empty")
+	}
+}

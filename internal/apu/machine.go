@@ -79,6 +79,62 @@ func DefaultOpenCLOverheads() OpenCLOverheads {
 	}
 }
 
+// Validate checks the configuration for structural problems, including the
+// VLIW packing factor the machine model only defines for 1..4 ops per
+// instruction.
+func (c Config) Validate() error {
+	checks := []struct {
+		ok   bool
+		name string
+	}{
+		{c.NumCPUs > 0, "NumCPUs"},
+		{c.CPUClockHz > 0, "CPUClockHz"},
+		{c.CPUCPI > 0, "CPUCPI"},
+		{c.GPUSIMDUnits > 0, "GPUSIMDUnits"},
+		{c.GPULanes > 0, "GPULanes"},
+		{c.GPUVLIWOpsPerInstr >= 1 && c.GPUVLIWOpsPerInstr <= 4, "GPUVLIWOpsPerInstr"},
+		{c.GPUClockHz > 0, "GPUClockHz"},
+		{c.GPUContextsPerUnit > 0, "GPUContextsPerUnit"},
+		{c.DRAM.SizeBytes > 0, "DRAM.SizeBytes"},
+		{c.CPUCaches.L1.SizeBytes > 0, "CPUCaches.L1.SizeBytes"},
+		{c.CPUCaches.L1.Assoc > 0, "CPUCaches.L1.Assoc"},
+		{c.CPUCaches.L2.SizeBytes > 0, "CPUCaches.L2.SizeBytes"},
+		{c.CPUCaches.L2.Assoc > 0, "CPUCaches.L2.Assoc"},
+		{c.GPUMem.ReadCacheBytes > 0, "GPUMem.ReadCacheBytes"},
+		{c.GPUMem.ReadCacheAssoc > 0, "GPUMem.ReadCacheAssoc"},
+		{c.GPUMem.WriteBufferLines > 0, "GPUMem.WriteBufferLines"},
+		// Negative latencies would schedule events in the past (an engine
+		// panic); zero is allowed — a free driver call or an idealized cache
+		// is a legitimate what-if sweep point.
+		{c.CPUCaches.L1Hit >= 0, "CPUCaches.L1Hit"},
+		{c.CPUCaches.L2Hit >= 0, "CPUCaches.L2Hit"},
+		{c.GPUMem.ReadHit >= 0, "GPUMem.ReadHit"},
+		{c.DRAM.Latency >= 0, "DRAM.Latency"},
+		{c.DRAM.Bandwidth >= 0, "DRAM.Bandwidth"},
+		{c.OpenCL.PlatformInit >= 0, "OpenCL.PlatformInit"},
+		{c.OpenCL.ProgramBuild >= 0, "OpenCL.ProgramBuild"},
+		{c.OpenCL.BufferCreate >= 0, "OpenCL.BufferCreate"},
+		{c.OpenCL.MapBuffer >= 0, "OpenCL.MapBuffer"},
+		{c.OpenCL.UnmapBuffer >= 0, "OpenCL.UnmapBuffer"},
+		{c.OpenCL.SetKernelArg >= 0, "OpenCL.SetKernelArg"},
+		{c.OpenCL.KernelLaunch >= 0, "OpenCL.KernelLaunch"},
+		{c.OpenCL.FinishOverhead >= 0, "OpenCL.FinishOverhead"},
+		{c.MaxSimulatedTime > 0, "MaxSimulatedTime"},
+	}
+	for _, chk := range checks {
+		if !chk.ok {
+			return &ConfigError{Field: chk.name}
+		}
+	}
+	return nil
+}
+
+// ConfigError reports an invalid configuration field.
+type ConfigError struct{ Field string }
+
+// Error implements error.
+func (e *ConfigError) Error() string { return "apu: invalid configuration field " + e.Field }
+
 // DefaultConfig returns the Table 2 APU configuration.
 func DefaultConfig() Config {
 	return Config{

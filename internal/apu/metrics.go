@@ -1,0 +1,35 @@
+package apu
+
+import "ccsvm/internal/stats"
+
+// Metrics derives the per-run machine metrics of an APU run from the stats
+// registry: CPU private-cache hit rates, GPU memory-path coalescing, the
+// OpenCL driver overhead breakdown (accumulated by package opencl), and the
+// off-chip access counts of Figure 9. The keys are stable — the sweep sinks
+// emit them into JSONL — and are documented in ARCHITECTURE.md.
+func (m *Machine) Metrics() map[string]float64 {
+	s := m.Stats
+	out := map[string]float64{
+		"gpu.combined_writes":    float64(s.SumMatch("gpu.mem", ".combined_writes")),
+		"gpu.write_lines":        float64(s.SumMatch("gpu.mem", ".write_lines")),
+		"dram.reads":             float64(s.SumMatch("dram", ".reads")),
+		"dram.writes":            float64(s.SumMatch("dram", ".writes")),
+		"cpu.instructions":       float64(s.SumMatch("apu.cpu", ".instructions")),
+		"gpu.instructions":       float64(s.SumMatch("apu.gpu", ".instructions")),
+		"cpu.busy_us":            float64(s.SumMatch("apu.cpu", ".busy_ps")) / 1e6,
+		"opencl.kernel_launches": float64(s.SumMatch("opencl", ".kernel_launches")),
+		"opencl.work_items":      float64(s.SumMatch("opencl", ".work_items")),
+		"opencl.buffer_maps":     float64(s.SumMatch("opencl", ".buffer_maps")),
+		"opencl.init_us":         float64(s.SumMatch("opencl", ".init_ps")) / 1e6,
+		"opencl.staging_us":      float64(s.SumMatch("opencl", ".staging_ps")) / 1e6,
+		"opencl.launch_us":       float64(s.SumMatch("opencl", ".launch_ps")) / 1e6,
+	}
+	l1Hits := s.SumMatch("apu.cpu", ".l1_hits")
+	l2Hits := s.SumMatch("apu.cpu", ".l2_hits")
+	misses := s.SumMatch("apu.cpu", ".misses")
+	stats.AddRate(out, "l1.hit_rate", l1Hits, l2Hits+misses)
+	stats.AddRate(out, "l2.hit_rate", l2Hits, misses)
+	stats.AddRate(out, "gpu.read_hit_rate",
+		s.SumMatch("gpu.mem", ".read_hits"), s.SumMatch("gpu.mem", ".read_misses"))
+	return out
+}

@@ -6,6 +6,8 @@
 package core
 
 import (
+	"fmt"
+
 	"ccsvm/internal/cache"
 	"ccsvm/internal/dram"
 	"ccsvm/internal/kernelos"
@@ -137,16 +139,52 @@ func (c Config) Validate() error {
 	}{
 		{c.NumCPUs > 0, "NumCPUs"},
 		{c.NumMTTOPs > 0, "NumMTTOPs"},
+		{c.CPUClockHz > 0, "CPUClockHz"},
+		{c.MTTOPClockHz > 0, "MTTOPClockHz"},
+		{c.CPUCPI > 0, "CPUCPI"},
 		{c.L2Banks > 0, "L2Banks"},
+		{c.L2BankBytes > 0, "L2BankBytes"},
+		{c.CPUL1.SizeBytes > 0, "CPUL1.SizeBytes"},
+		{c.MTTOPL1.SizeBytes > 0, "MTTOPL1.SizeBytes"},
 		{c.MTTOPContexts > 0, "MTTOPContexts"},
 		{c.MTTOPIssueWidth > 0, "MTTOPIssueWidth"},
 		{c.TLBEntries > 0, "TLBEntries"},
 		{c.DRAM.SizeBytes > 0, "DRAM.SizeBytes"},
+		{c.CPUL1.Assoc > 0, "CPUL1.Assoc"},
+		{c.MTTOPL1.Assoc > 0, "MTTOPL1.Assoc"},
+		{c.L2Assoc > 0, "L2Assoc"},
+		// Negative latencies would schedule events in the past (an engine
+		// panic); zero is allowed — an idealized structure is a legitimate
+		// what-if sweep point.
+		{c.CPUL1Hit >= 0, "CPUL1Hit"},
+		{c.MTTOPL1Hit >= 0, "MTTOPL1Hit"},
+		{c.L2Latency >= 0, "L2Latency"},
+		{c.DRAM.Latency >= 0, "DRAM.Latency"},
+		{c.DRAM.Bandwidth >= 0, "DRAM.Bandwidth"},
+		{c.Torus.Width >= 0, "Torus.Width"},
+		{c.Torus.Height >= 0, "Torus.Height"},
+		{c.Torus.LinkBandwidth >= 0, "Torus.LinkBandwidth"},
+		{c.MIFD.DispatchLatency >= 0, "MIFD.DispatchLatency"},
+		{c.MIFD.PerWarpLatency >= 0, "MIFD.PerWarpLatency"},
+		{c.MIFD.WarpSize > 0, "MIFD.WarpSize"},
+		{c.KernelCosts.PageFaultInstrs >= 0, "KernelCosts.PageFaultInstrs"},
+		{c.KernelCosts.ShootdownInstrs >= 0, "KernelCosts.ShootdownInstrs"},
+		{c.KernelCosts.SyscallInstrs >= 0, "KernelCosts.SyscallInstrs"},
+		{c.MaxSimulatedTime > 0, "MaxSimulatedTime"},
 	}
 	for _, chk := range checks {
 		if !chk.ok {
 			return &ConfigError{Field: chk.name}
 		}
+	}
+	// When both torus dimensions are given explicitly, the grid must hold
+	// every node, or placement would panic inside NewMachine. (With one or
+	// both dimensions zero, NewMachine derives the rest from the node
+	// count, which always fits.)
+	w, h := c.Torus.Width, c.Torus.Height
+	if w > 0 && h > 0 && w*h < c.NumCPUs+c.NumMTTOPs+c.L2Banks {
+		return &ConfigError{Field: fmt.Sprintf("Torus.Width/Height (%dx%d grid cannot hold %d nodes)",
+			w, h, c.NumCPUs+c.NumMTTOPs+c.L2Banks)}
 	}
 	return nil
 }

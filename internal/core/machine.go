@@ -61,9 +61,16 @@ func NewMachine(cfg Config) *Machine {
 
 	// Node numbering on the torus: CPUs, then MTTOPs, then L2/dir banks.
 	numNodes := cfg.NumCPUs + cfg.NumMTTOPs + cfg.L2Banks
+	// Derive any unset torus dimension from the node count, so overriding
+	// just one dimension reshapes the network instead of being ignored.
 	width, height := cfg.Torus.Width, cfg.Torus.Height
-	if width == 0 || height == 0 {
+	switch {
+	case width == 0 && height == 0:
 		width = int(math.Ceil(math.Sqrt(float64(numNodes))))
+		height = (numNodes + width - 1) / width
+	case width == 0:
+		width = (numNodes + height - 1) / height
+	case height == 0:
 		height = (numNodes + width - 1) / width
 	}
 	placement := make(map[noc.NodeID]noc.Coord, numNodes)

@@ -1,0 +1,37 @@
+package core
+
+import "ccsvm/internal/stats"
+
+// Metrics derives the per-run machine metrics of a finished (or in-flight)
+// CCSVM run from the stats registry: cache and TLB hit rates, coherence
+// protocol traffic, network-on-chip load, task-launch activity, and the
+// off-chip access counts of Figure 9. The keys are stable — the sweep sinks
+// emit them into JSONL — and are documented in ARCHITECTURE.md.
+func (m *Machine) Metrics() map[string]float64 {
+	s := m.Stats
+	out := map[string]float64{
+		"coherence.invalidations": float64(s.SumMatch("l2.", ".invalidations_sent")),
+		"coherence.forwards":      float64(s.SumMatch("l2.", ".forwards")),
+		"noc.messages":            float64(s.SumMatch("noc", ".messages")),
+		"noc.bytes":               float64(s.SumMatch("noc", ".bytes")),
+		"dram.reads":              float64(s.SumMatch("dram", ".reads")),
+		"dram.writes":             float64(s.SumMatch("dram", ".writes")),
+		"kernel.page_faults":      float64(s.SumMatch("kernel", ".page_faults")),
+		"kernel.tlb_shootdowns":   float64(s.SumMatch("kernel", ".tlb_shootdowns")),
+		"mifd.tasks":              float64(s.SumMatch("mifd", ".tasks")),
+		"mifd.threads":            float64(s.SumMatch("mifd", ".threads_dispatched")),
+		"cpu.instructions":        float64(s.SumMatch("cpu", ".instructions")),
+		"mttop.instructions":      float64(s.SumMatch("mttop", ".instructions")),
+		"cpu.busy_us":             float64(s.SumMatch("cpu", ".busy_ps")) / 1e6,
+	}
+	stats.AddRate(out, "l1.hit_rate",
+		s.SumMatch("", ".l1.hits"), s.SumMatch("", ".l1.misses"))
+	stats.AddRate(out, "l2.hit_rate",
+		s.SumMatch("l2.", ".l2_hits"), s.SumMatch("l2.", ".l2_misses"))
+	stats.AddRate(out, "tlb.hit_rate",
+		s.SumMatch("", ".tlb.hits"), s.SumMatch("", ".tlb.misses"))
+	if msgs := s.SumMatch("noc", ".messages"); msgs > 0 {
+		out["noc.mean_latency_ns"] = float64(s.SumMatch("noc", ".total_latency_ps")) / float64(msgs) / 1e3
+	}
+	return out
+}

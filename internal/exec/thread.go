@@ -1,13 +1,3 @@
-// Package exec provides the execution-driven bridge between workload code
-// (ordinary Go functions) and the timing models of the simulated cores. Each
-// software thread runs in its own goroutine and communicates with the
-// single-threaded simulation engine through a strict, deterministic
-// handshake: the thread produces one operation at a time (a load, store,
-// atomic, compute delay, or syscall) and blocks until the core model reports
-// the operation complete at some simulated time.
-//
-// This is the same execution-driven style the paper's gem5 evaluation uses,
-// with Go functions standing in for the x86/Alpha-like binaries.
 package exec
 
 import (

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestSweepsDeterministicAtAnyParallelism requires the two sensitivity
+// sweeps to render byte-identical tables at parallel=1 and parallel=4 — the
+// design-space layer must not reintroduce the run-to-run nondeterminism the
+// Runner was built to exclude.
+func TestSweepsDeterministicAtAnyParallelism(t *testing.T) {
+	for name, fn := range map[string]func(Options) (interface{ String() string }, error){
+		"lanes": func(o Options) (interface{ String() string }, error) { return LaneSensitivity(o) },
+		"cache": func(o Options) (interface{ String() string }, error) { return CacheSensitivity(o) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			seqOpts := DefaultOptions()
+			parOpts := DefaultOptions()
+			parOpts.Parallel = 4
+			seq, err := fn(seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := fn(parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.String() != par.String() {
+				t.Errorf("parallel=4 table differs from parallel=1:\n%s\nvs\n%s", par, seq)
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+// Package kernelos is the minimal operating-system layer of the simulated
+// machines: a physical frame allocator, per-process address spaces with a
+// demand-paged heap, the page-fault handler, and the TLB-shootdown hook. The
+// paper's evaluation runs unmodified Linux inside gem5; here the kernel
+// services the same architectural events (page faults, address-space setup,
+// the MIFD driver's write syscall) with explicit, documented costs.
+package kernelos

@@ -111,7 +111,7 @@ func (k *Kernel) HandlePageFault(f *vm.Fault) mem.PAddr {
 		panic(fmt.Sprintf("kernelos: page fault for unknown address space: %v", f))
 	}
 	if !proc.InHeap(f.VA) {
-		panic(fmt.Sprintf("kernelos: segmentation fault: %v (heap is %#x..%#x)", f, uint64(HeapBase), uint64(proc.brk)))
+		panic(fmt.Sprintf("kernelos: segmentation fault: %v (heap is %#x..%#x)", f, uint64(HeapBase), uint64(proc.Brk())))
 	}
 	k.pageFaults.Inc()
 	return k.mapPage(proc, f.VA)

@@ -2,6 +2,7 @@ package kernelos
 
 import (
 	"fmt"
+	"sync"
 
 	"ccsvm/internal/mem"
 	"ccsvm/internal/vm"
@@ -27,7 +28,16 @@ type Process struct {
 	Table *vm.PageTable
 
 	kernel *Kernel
-	brk    mem.VAddr
+
+	// mu guards brk. A workload goroutine extends the heap (Sbrk via
+	// xthreads Malloc) in the window between two of its operations, while
+	// the engine goroutine may concurrently consult InHeap servicing another
+	// core's page fault; the two never touch the same heap region (a fault
+	// can only target memory whose address was already published through
+	// simulated memory), so the lock affects memory safety, not simulated
+	// behaviour.
+	mu  sync.Mutex
+	brk mem.VAddr
 }
 
 // Root returns the CR3 value for this process (the physical address of the
@@ -35,13 +45,19 @@ type Process struct {
 func (p *Process) Root() mem.PAddr { return p.Table.Root() }
 
 // Brk returns the current end of the heap.
-func (p *Process) Brk() mem.VAddr { return p.brk }
+func (p *Process) Brk() mem.VAddr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.brk
+}
 
 // Sbrk extends the heap by size bytes (rounded up to 8-byte alignment) and
 // returns the base of the new region. The pages are demand-paged: they are
 // mapped by the page-fault handler on first touch, exactly as in the paper's
 // Linux-based evaluation.
 func (p *Process) Sbrk(size uint64) mem.VAddr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	base := mem.AlignUp(p.brk, 64)
 	end := base + mem.VAddr(size)
 	if end > HeapLimit {
@@ -55,6 +71,8 @@ func (p *Process) Sbrk(size uint64) mem.VAddr {
 // the page-fault handler uses to distinguish demand paging from wild
 // accesses.
 func (p *Process) InHeap(va mem.VAddr) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return va >= HeapBase && va < p.brk
 }
 
@@ -62,7 +80,7 @@ func (p *Process) InHeap(va mem.VAddr) bool {
 // use it when they want to exclude cold page faults from a measurement, the
 // way a warmed-up native run would behave.
 func (p *Process) PrefaultHeap() {
-	for va := HeapBase; va < p.brk; va += mem.PageSize {
+	for va := HeapBase; va < p.Brk(); va += mem.PageSize {
 		if _, ok := p.Table.Lookup(va); !ok {
 			p.kernel.mapPage(p, va)
 		}

@@ -1,11 +1,3 @@
-// Package mifd implements the MTTOP InterFace Device of Section 3.1: the
-// small controller that abstracts the collection of MTTOP cores away from the
-// CPUs. A CPU launches a task (a set of threads) by writing a task descriptor
-// to the device (a write syscall handled by the ~30-line driver in
-// kernelos/xthreads); the MIFD assigns threads to free MTTOP contexts in
-// round-robin order, records an error if the chip runs out of contexts,
-// forwards MTTOP page faults to a CPU core as interrupts, and broadcasts TLB
-// flushes for shootdowns.
 package mifd
 
 import (

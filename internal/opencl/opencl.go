@@ -14,6 +14,7 @@ import (
 	"ccsvm/internal/apu"
 	"ccsvm/internal/exec"
 	"ccsvm/internal/mem"
+	"ccsvm/internal/sim"
 	"ccsvm/internal/stats"
 )
 
@@ -60,6 +61,13 @@ type Session struct {
 	launches  *stats.Counter
 	workItems *stats.Counter
 	mapped    *stats.Counter
+	// Driver-overhead time by category, in simulated picoseconds: one-time
+	// init+JIT, buffer staging (create/map/unmap), and launch+sync. Together
+	// they are the OpenCL overhead breakdown the apu machine's Metrics()
+	// reports (the decomposition behind the paper's Figure 5 series).
+	initPs    *stats.Counter
+	stagingPs *stats.Counter
+	launchPs  *stats.Counter
 }
 
 type pendingItem struct {
@@ -76,7 +84,20 @@ func NewSession(m *apu.Machine) *Session {
 		launches:  m.Stats.Counter("opencl.kernel_launches"),
 		workItems: m.Stats.Counter("opencl.work_items"),
 		mapped:    m.Stats.Counter("opencl.buffer_maps"),
+		initPs:    m.Stats.Counter("opencl.init_ps"),
+		stagingPs: m.Stats.Counter("opencl.staging_ps"),
+		launchPs:  m.Stats.Counter("opencl.launch_ps"),
 	}
+}
+
+// charge burns host time for a driver overhead and books it to a category
+// counter so per-run metrics can break the total down.
+func (s *Session) charge(ctx *apu.HostContext, d sim.Duration, category *stats.Counter) {
+	if d <= 0 {
+		return
+	}
+	category.Add(uint64(d))
+	ctx.Delay(d)
 }
 
 // InitPlatform performs clGetPlatformIDs / clGetDeviceIDs / clCreateContext /
@@ -87,7 +108,7 @@ func (s *Session) InitPlatform(ctx *apu.HostContext) {
 		return
 	}
 	s.inited = true
-	ctx.Delay(s.over.PlatformInit)
+	s.charge(ctx, s.over.PlatformInit, s.initPs)
 }
 
 // BuildProgram performs clCreateProgramWithSource + clBuildProgram (the JIT
@@ -97,7 +118,7 @@ func (s *Session) BuildProgram(ctx *apu.HostContext) {
 		return
 	}
 	s.built = true
-	ctx.Delay(s.over.ProgramBuild)
+	s.charge(ctx, s.over.ProgramBuild, s.initPs)
 }
 
 // CreateKernel registers a kernel body and returns its handle
@@ -110,7 +131,7 @@ func (s *Session) CreateKernel(fn WorkItemFunc) int {
 // CreateBuffer allocates a pinned zero-copy buffer (clCreateBuffer with
 // CL_MEM_ALLOC_HOST_PTR).
 func (s *Session) CreateBuffer(ctx *apu.HostContext, size uint64) Buffer {
-	ctx.Delay(s.over.BufferCreate)
+	s.charge(ctx, s.over.BufferCreate, s.stagingPs)
 	return Buffer{Base: s.m.Malloc(size), Size: size}
 }
 
@@ -119,7 +140,7 @@ func (s *Session) CreateBuffer(ctx *apu.HostContext, size uint64) Buffer {
 // are dropped so the CPU reads what is in DRAM.
 func (s *Session) EnqueueMapBuffer(ctx *apu.HostContext, b Buffer) mem.VAddr {
 	s.mapped.Inc()
-	ctx.Delay(s.over.MapBuffer)
+	s.charge(ctx, s.over.MapBuffer, s.stagingPs)
 	s.m.InvalidateCPUCaches(b.Base, b.Size)
 	return b.Base
 }
@@ -128,7 +149,7 @@ func (s *Session) EnqueueMapBuffer(ctx *apu.HostContext, b Buffer) mem.VAddr {
 // the CPU wrote are flushed to DRAM so the GPU, which bypasses the CPU
 // caches, observes them.
 func (s *Session) EnqueueUnmapBuffer(ctx *apu.HostContext, b Buffer) {
-	ctx.Delay(s.over.UnmapBuffer)
+	s.charge(ctx, s.over.UnmapBuffer, s.stagingPs)
 	s.m.FlushCPUCaches(b.Base, b.Size)
 }
 
@@ -145,9 +166,9 @@ func (s *Session) EnqueueNDRangeKernel(ctx *apu.HostContext, kernel int, globalS
 	}
 	s.launches.Inc()
 	for range args {
-		ctx.Delay(s.over.SetKernelArg)
+		s.charge(ctx, s.over.SetKernelArg, s.launchPs)
 	}
-	ctx.Delay(s.over.KernelLaunch)
+	s.charge(ctx, s.over.KernelLaunch, s.launchPs)
 	for gid := 0; gid < globalSize; gid++ {
 		s.pendingWI = append(s.pendingWI, pendingItem{kernel: kernel, gid: gid, args: args})
 	}
@@ -193,9 +214,16 @@ func (s *Session) dispatch() {
 // which is how the real runtime's synchronization cost appears to an
 // application.
 func (s *Session) Finish(ctx *apu.HostContext) {
-	ctx.Delay(s.over.FinishOverhead)
+	s.charge(ctx, s.over.FinishOverhead, s.launchPs)
+	// The poll interval must stay positive even when a design-space sweep
+	// sets FinishOverhead to zero: a free poll would never advance simulated
+	// time and the loop would spin forever.
+	poll := s.over.FinishOverhead / 4
+	if poll <= 0 {
+		poll = sim.Nanosecond
+	}
 	for s.running > 0 || len(s.pendingWI) > 0 {
-		ctx.Delay(s.over.FinishOverhead / 4)
+		s.charge(ctx, poll, s.launchPs)
 	}
 }
 

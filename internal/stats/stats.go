@@ -115,6 +115,30 @@ func (r *Registry) Sum(prefix string) uint64 {
 	return total
 }
 
+// SumMatch returns the total of all counters whose names begin with prefix
+// AND end with suffix — the shape of per-component counters ("cpu0.l1.hits",
+// "mttop3.l1.hits"), which a machine-level metric sums across components.
+// Either string may be empty to match everything on that side.
+func (r *Registry) SumMatch(prefix, suffix string) uint64 {
+	var total uint64
+	for name, c := range r.counters {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) {
+			total += c.value
+		}
+	}
+	return total
+}
+
+// AddRate records hits/(hits+misses) under key when there was any traffic
+// at all; untouched structures report no rate rather than a misleading
+// zero. The machines' Metrics() reductions use it to derive hit rates from
+// counter pairs.
+func AddRate(out map[string]float64, key string, hits, misses uint64) {
+	if total := hits + misses; total > 0 {
+		out[key] = float64(hits) / float64(total)
+	}
+}
+
 // Snapshot returns all counter values, sorted by name.
 func (r *Registry) Snapshot() []NamedValue {
 	out := make([]NamedValue, 0, len(r.counters)+len(r.gauges))

@@ -89,7 +89,7 @@ func APSPXthreads(cfg core.Config, n int, seed int64) (Result, error) {
 			return Result{}, fmt.Errorf("apsp xthreads: element %d = %d, want %d", i, got, want[i])
 		}
 	}
-	return Result{Label: "CCSVM/xthreads", Time: offload, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: "CCSVM/xthreads", Time: offload, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 // APSPCPU runs Floyd–Warshall single-threaded on one APU CPU core.
@@ -130,7 +130,7 @@ func APSPCPU(cfg apu.Config, n int, seed int64) (Result, error) {
 			return Result{}, fmt.Errorf("apsp cpu: element %d = %d, want %d", i, got, want[i])
 		}
 	}
-	return Result{Label: "APU CPU core", Time: compute, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: "APU CPU core", Time: compute, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 // APSPOpenCL runs Floyd–Warshall on the APU with OpenCL. The outer-loop
@@ -208,7 +208,7 @@ func APSPOpenCL(cfg apu.Config, n int, seed int64, includeInit bool) (Result, er
 	if includeInit {
 		label = "APU/OpenCL (full)"
 	}
-	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 func init() {

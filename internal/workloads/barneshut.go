@@ -323,7 +323,7 @@ func BarnesHutXthreads(cfg core.Config, nBodies int, seed int64) (Result, error)
 	if err := bhCheck(m.MemReadFloat64, bodies); err != nil {
 		return Result{}, err
 	}
-	return Result{Label: "CCSVM/xthreads", Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: "CCSVM/xthreads", Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 // BarnesHutCPU runs the whole benchmark single-threaded on one APU CPU core
@@ -407,7 +407,7 @@ func barnesHutHost(cfg apu.Config, nBodies int, seed int64, nThreads int) (Resul
 	if nThreads > 1 {
 		label = fmt.Sprintf("APU pthreads x%d", nThreads)
 	}
-	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 func init() {

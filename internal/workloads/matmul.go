@@ -86,7 +86,7 @@ func MatMulXthreads(cfg core.Config, n int, seed int64) (Result, error) {
 			return Result{}, fmt.Errorf("matmul xthreads: element %d = %d, want %d", i, got, want[i])
 		}
 	}
-	return Result{Label: "CCSVM/xthreads", Time: offload, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: "CCSVM/xthreads", Time: offload, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 // MatMulCPU runs the single-threaded CPU version on one APU CPU core — the
@@ -131,7 +131,7 @@ func MatMulCPU(cfg apu.Config, n int, seed int64) (Result, error) {
 			return Result{}, fmt.Errorf("matmul cpu: element %d = %d, want %d", i, got, want[i])
 		}
 	}
-	return Result{Label: "APU CPU core", Time: compute, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: "APU CPU core", Time: compute, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 // MatMulOpenCL runs the OpenCL version on the APU machine, following the
@@ -219,7 +219,7 @@ func MatMulOpenCL(cfg apu.Config, n int, seed int64, includeInit bool) (Result, 
 	if includeInit {
 		label = "APU/OpenCL (full)"
 	}
-	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 func init() {

@@ -203,7 +203,7 @@ func SparseMMXthreads(cfg core.Config, n int, density float64, seed int64) (Resu
 	if err := smVerify(m.MemReadUint64, m.MemReadUint32, outHeadsVA, want, n); err != nil {
 		return Result{}, fmt.Errorf("sparse xthreads: %w", err)
 	}
-	return Result{Label: "CCSVM/xthreads", Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: "CCSVM/xthreads", Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 // SparseMMCPU runs the same pointer-based algorithm single-threaded on one
@@ -238,7 +238,7 @@ func SparseMMCPU(cfg apu.Config, n int, density float64, seed int64) (Result, er
 	if err := smVerify(m.MemReadUint64, m.MemReadUint32, outHeadsVA, want, n); err != nil {
 		return Result{}, fmt.Errorf("sparse cpu: %w", err)
 	}
-	return Result{Label: "APU CPU core", Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: "APU CPU core", Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 // smVerify checks every output row's linked list against the dense reference.

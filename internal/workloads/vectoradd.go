@@ -75,7 +75,7 @@ func VectorAddXthreads(cfg core.Config, n int, seed int64) (Result, error) {
 			return Result{}, fmt.Errorf("vectoradd xthreads: element %d = %d, want %d", i, got, v1[i]+v2[i])
 		}
 	}
-	return Result{Label: "CCSVM/xthreads", Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: "CCSVM/xthreads", Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 // VectorAddOpenCL is the paper's Figure 3 program: the OpenCL version of
@@ -147,7 +147,7 @@ func VectorAddOpenCL(cfg apu.Config, n int, seed int64, includeInit bool) (Resul
 	if includeInit {
 		label = "APU/OpenCL (full)"
 	}
-	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true}, nil
+	return Result{Label: label, Time: measured, DRAMAccesses: m.DRAMAccesses(), Checked: true, Metrics: m.Metrics()}, nil
 }
 
 func init() {

@@ -30,6 +30,11 @@ type Result struct {
 	// Checked reports that the functional output was verified against the
 	// reference implementation.
 	Checked bool
+	// Metrics are the per-run machine metrics derived from the machine's
+	// stats registry (cache hit rates, coherence and NoC traffic, OpenCL
+	// overhead breakdown; see core.Machine.Metrics and apu.Machine.Metrics).
+	// The sweep sinks emit them alongside the headline numbers.
+	Metrics map[string]float64
 }
 
 // String formats the result.

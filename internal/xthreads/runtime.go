@@ -1,13 +1,3 @@
-// Package xthreads implements the paper's xthreads programming model
-// (Section 4): a pthreads-like API with which a CPU thread spawns sets of
-// threads on the MTTOP cores, synchronizes with them through condition
-// variables, barriers and signals in cache-coherent shared virtual memory,
-// and services dynamic memory allocation on their behalf (mttop_malloc).
-//
-// Workload code is written against CPUContext and MTTOPContext; every load,
-// store and atomic issued through them is played out in the machine's timing
-// models, so an xthreads program in this repository behaves like the paper's
-// xthreads binaries running on the simulated CCSVM chip.
 package xthreads
 
 import (

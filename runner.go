@@ -159,19 +159,28 @@ func NewTextSink(w io.Writer, title string) *TextSink {
 	return &TextSink{
 		w: w,
 		table: stats.NewTable(title,
-			"Workload", "System", "N", "Density", "Init", "Tag", "Time", "DRAM", "Checked", "Error"),
+			"Workload", "System", "N", "Density", "Init", "Tag", "Time", "DRAM", "L1 hit%", "NoC msgs", "Checked", "Error"),
 	}
 }
 
-// Emit adds one result row.
+// Emit adds one result row. The machine-metric columns (L1 hit rate, NoC
+// messages) stay blank for runs whose machine did not report the metric —
+// the APU has no on-chip network, and failed runs have no metrics at all.
 func (s *TextSink) Emit(r RunResult) error {
 	errText := ""
 	if r.Err != nil {
 		errText = r.Err.Error()
 	}
+	l1, noc := "", ""
+	if rate, ok := r.Result.Metrics["l1.hit_rate"]; ok {
+		l1 = fmt.Sprintf("%.1f", rate*100)
+	}
+	if msgs, ok := r.Result.Metrics["noc.messages"]; ok {
+		noc = fmt.Sprintf("%.0f", msgs)
+	}
 	s.table.AddRow(r.Spec.Workload, string(r.Spec.System.Kind), r.Spec.Params.N,
 		r.Spec.Params.Density, r.Spec.Params.IncludeInit, r.Spec.Tag,
-		r.Result.Time.String(), r.Result.DRAMAccesses, r.Result.Checked, errText)
+		r.Result.Time.String(), r.Result.DRAMAccesses, l1, noc, r.Result.Checked, errText)
 	return nil
 }
 
@@ -194,7 +203,10 @@ type jsonRecord struct {
 	SimTimePs    int64   `json:"sim_time_ps"`
 	DRAMAccesses uint64  `json:"dram_accesses"`
 	Checked      bool    `json:"checked"`
-	Error        string  `json:"error,omitempty"`
+	// Metrics carries the per-run machine metrics; encoding/json sorts the
+	// keys, so JSONL output is byte-stable at any parallelism.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Error   string             `json:"error,omitempty"`
 }
 
 // JSONLSink writes one JSON object per result, suitable for jq and tooling.
@@ -221,6 +233,7 @@ func (s *JSONLSink) Emit(r RunResult) error {
 		SimTimePs:    int64(r.Result.Time),
 		DRAMAccesses: r.Result.DRAMAccesses,
 		Checked:      r.Result.Checked,
+		Metrics:      r.Result.Metrics,
 	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
