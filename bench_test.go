@@ -17,7 +17,9 @@ import (
 const benchSeed = 42
 
 // benchRun resolves workload/kind through the registry and runs it b.N times,
-// reporting simulated time and off-chip traffic.
+// reporting simulated time, off-chip traffic, allocations, and simulator
+// throughput (engine events per host second — the headline number the hot
+// path is optimized for; see ARCHITECTURE.md, "Hot path & pooling").
 func benchRun(b *testing.B, workload string, kind ccsvm.SystemKind, p ccsvm.Params) {
 	b.Helper()
 	w, ok := ccsvm.Lookup(workload)
@@ -26,13 +28,23 @@ func benchRun(b *testing.B, workload string, kind ccsvm.SystemKind, p ccsvm.Para
 	}
 	sys := ccsvm.MustSystem(kind)
 	p.Seed = benchSeed
+	b.ReportAllocs()
+	var last ccsvm.Result
+	var events float64
 	for i := 0; i < b.N; i++ {
 		r, err := w.Run(sys, p)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(r.Time)/1e6, "sim_us/op")
-		b.ReportMetric(float64(r.DRAMAccesses), "dram_accesses/op")
+		last = r
+		events += r.Metrics["sim.events"]
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Time)/1e6, "sim_us/op")
+	b.ReportMetric(float64(last.DRAMAccesses), "dram_accesses/op")
+	b.ReportMetric(events/float64(b.N), "sim_events/op")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(events/sec, "sim_events/sec")
 	}
 }
 
@@ -102,14 +114,17 @@ func BenchmarkFig9DRAMAccesses(b *testing.B) {
 		{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemOpenCL), Params: ccsvm.Params{N: 32, Seed: benchSeed}},
 	}
 	runner := &ccsvm.Runner{Parallel: 2}
+	b.ReportAllocs()
+	var last []ccsvm.RunResult
 	for i := 0; i < b.N; i++ {
 		res, err := runner.Run(specs)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res[0].Result.DRAMAccesses), "ccsvm_dram/op")
-		b.ReportMetric(float64(res[1].Result.DRAMAccesses), "apu_dram/op")
+		last = res
 	}
+	b.ReportMetric(float64(last[0].Result.DRAMAccesses), "ccsvm_dram/op")
+	b.ReportMetric(float64(last[1].Result.DRAMAccesses), "apu_dram/op")
 }
 
 // Figures 3/4: vector-add offload cost by programming model.

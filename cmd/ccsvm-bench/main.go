@@ -1,0 +1,183 @@
+// Command ccsvm-bench measures simulator throughput for every paper-series
+// benchmark and writes the results to BENCH_<date>.json, the repository's
+// persistent benchmark baseline. Committing one baseline per optimization PR
+// records the performance trajectory of the simulator itself — wall time,
+// allocations, and simulation-events-per-second for each series — so
+// regressions in the hot path are visible in review rather than discovered
+// months later.
+//
+// Usage:
+//
+//	ccsvm-bench                       # all series, 1 iteration each, BENCH_<today>.json
+//	ccsvm-bench -iters 3              # average over 3 iterations per series
+//	ccsvm-bench -out bench-artifacts  # write the JSON under a directory (CI uploads it)
+//	ccsvm-bench -date 2026-07-29      # pin the filename date (reproducible CI paths)
+//	ccsvm-bench -stdout               # also print the JSON to stdout
+//
+// The series list mirrors bench_test.go (the `go test -bench` harness): the
+// same (workload, system, size) points the paper's figures use, resolved
+// through the ccsvm registry. Timing here is wall-clock on the current host —
+// the numbers are comparable across commits on the same machine class, not
+// across machines; the simulated-time and event counts are bit-deterministic
+// everywhere.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ccsvm"
+)
+
+// series is one benchmark point of the paper's evaluation.
+type series struct {
+	Name     string  `json:"name"`
+	Workload string  `json:"workload"`
+	System   string  `json:"system"`
+	N        int     `json:"n"`
+	Density  float64 `json:"density,omitempty"`
+	Init     bool    `json:"include_init,omitempty"`
+}
+
+// paperSeries mirrors the benchmark list in bench_test.go.
+var paperSeries = []series{
+	{Name: "fig5_matmul_ccsvm", Workload: "matmul", System: "ccsvm", N: 32},
+	{Name: "fig5_matmul_apu_opencl", Workload: "matmul", System: "opencl", N: 32},
+	{Name: "fig5_matmul_apu_cpu", Workload: "matmul", System: "cpu", N: 32},
+	{Name: "fig6_apsp_ccsvm", Workload: "apsp", System: "ccsvm", N: 20},
+	{Name: "fig6_apsp_apu_opencl", Workload: "apsp", System: "opencl", N: 20},
+	{Name: "fig6_apsp_apu_cpu", Workload: "apsp", System: "cpu", N: 20},
+	{Name: "fig7_barneshut_ccsvm", Workload: "barneshut", System: "ccsvm", N: 96},
+	{Name: "fig7_barneshut_apu_cpu", Workload: "barneshut", System: "cpu", N: 96},
+	{Name: "fig7_barneshut_apu_pthreads", Workload: "barneshut", System: "pthreads", N: 96},
+	{Name: "fig8_sparse_size_ccsvm", Workload: "sparse", System: "ccsvm", N: 48, Density: 0.02},
+	{Name: "fig8_sparse_size_apu_cpu", Workload: "sparse", System: "cpu", N: 48, Density: 0.02},
+	{Name: "fig8_sparse_density_ccsvm", Workload: "sparse", System: "ccsvm", N: 48, Density: 0.06},
+	{Name: "code_vectoradd_xthreads", Workload: "vectoradd", System: "ccsvm", N: 256},
+	{Name: "code_vectoradd_opencl", Workload: "vectoradd", System: "opencl", N: 256, Init: true},
+}
+
+const benchSeed = 42
+
+// record is one measured series in the emitted JSON.
+type record struct {
+	series
+	Iters        int     `json:"iters"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	SimTimePs    int64   `json:"sim_time_ps"`
+	SimEvents    float64 `json:"sim_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// baseline is the whole emitted file.
+type baseline struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Series    []record `json:"series"`
+}
+
+func main() {
+	iters := flag.Int("iters", 1, "measured iterations per series (after one warmup run)")
+	out := flag.String("out", ".", "directory to write BENCH_<date>.json into")
+	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the output filename")
+	toStdout := flag.Bool("stdout", false, "also print the JSON document to stdout")
+	flag.Parse()
+
+	if *iters < 1 {
+		fmt.Fprintln(os.Stderr, "ccsvm-bench: -iters must be at least 1")
+		os.Exit(2)
+	}
+	b := baseline{
+		Date:      *date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, s := range paperSeries {
+		rec, err := measure(s, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccsvm-bench: %s: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		b.Series = append(b.Series, rec)
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10d allocs/op %14.0f events/sec\n",
+			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.EventsPerSec)
+	}
+
+	doc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccsvm-bench: %v\n", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "ccsvm-bench: %v\n", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*out, "BENCH_"+*date+".json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ccsvm-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	if *toStdout {
+		os.Stdout.Write(doc)
+	}
+}
+
+// measure runs one series: a warmup run to populate pools and caches, then
+// iters measured runs bracketed by runtime.MemStats reads for the allocation
+// counters. Simulated time and event counts are taken from the last run; they
+// are identical across runs by the determinism contract.
+func measure(s series, iters int) (record, error) {
+	rec := record{series: s, Iters: iters}
+	w, ok := ccsvm.Lookup(s.Workload)
+	if !ok {
+		return rec, fmt.Errorf("workload not registered")
+	}
+	sys, err := ccsvm.NewSystem(ccsvm.SystemKind(s.System))
+	if err != nil {
+		return rec, err
+	}
+	p := ccsvm.Params{N: s.N, Density: s.Density, Seed: benchSeed, IncludeInit: s.Init}
+
+	if _, err := w.Run(sys, p); err != nil {
+		return rec, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var last ccsvm.Result
+	var events float64
+	for i := 0; i < iters; i++ {
+		r, err := w.Run(sys, p)
+		if err != nil {
+			return rec, err
+		}
+		last = r
+		events += r.Metrics["sim.events"]
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	n := uint64(iters)
+	rec.NsPerOp = wall.Nanoseconds() / int64(iters)
+	rec.AllocsPerOp = (after.Mallocs - before.Mallocs) / n
+	rec.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / n
+	rec.SimTimePs = int64(last.Time)
+	rec.SimEvents = last.Metrics["sim.events"]
+	if sec := wall.Seconds(); sec > 0 {
+		rec.EventsPerSec = events / sec
+	}
+	return rec, nil
+}

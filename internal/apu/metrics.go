@@ -23,6 +23,9 @@ func (m *Machine) Metrics() map[string]float64 {
 		"opencl.init_us":         float64(s.SumMatch("opencl", ".init_ps")) / 1e6,
 		"opencl.staging_us":      float64(s.SumMatch("opencl", ".staging_ps")) / 1e6,
 		"opencl.launch_us":       float64(s.SumMatch("opencl", ".launch_ps")) / 1e6,
+		// sim.events is the engine's executed-event count, the basis of the
+		// benchmark harness's events/sec throughput metric.
+		"sim.events": float64(m.Engine.Executed()),
 	}
 	l1Hits := s.SumMatch("apu.cpu", ".l1_hits")
 	l2Hits := s.SumMatch("apu.cpu", ".l2_hits")

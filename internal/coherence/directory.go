@@ -93,6 +93,12 @@ type DirectoryBank struct {
 
 	entries map[mem.LineAddr]*dirEntry
 
+	// pool recycles protocol messages (see msgPool for the ownership rules);
+	// processFn is the post-access-latency continuation bound once so the
+	// per-message Receive path schedules without allocating a closure.
+	pool      msgPool
+	processFn func(any)
+
 	requests   *stats.Counter
 	l2Hits     *stats.Counter
 	l2Misses   *stats.Counter
@@ -114,6 +120,7 @@ func NewDirectoryBank(engine *sim.Engine, id noc.NodeID, net noc.Network, cfg Ba
 		memory:  memory,
 		entries: make(map[mem.LineAddr]*dirEntry),
 	}
+	b.processFn = func(a any) { b.process(a.(*Msg)) }
 	b.requests = reg.Counter(cfg.Name + ".requests")
 	b.l2Hits = reg.Counter(cfg.Name + ".l2_hits")
 	b.l2Misses = reg.Counter(cfg.Name + ".l2_misses")
@@ -158,26 +165,36 @@ func (b *DirectoryBank) entryOf(addr mem.LineAddr) *dirEntry {
 
 // Receive implements noc.Receiver.
 func (b *DirectoryBank) Receive(nm *noc.Message) {
-	m := nm.Payload.(*Msg)
-	// Every message pays the L2/directory access latency.
-	b.engine.Schedule(b.cfg.AccessLatency, func() {
-		b.process(m)
-	})
+	// Every message pays the L2/directory access latency. The protocol
+	// payload outlives the network envelope (which is recycled when this
+	// returns), so it rides to process as the event argument.
+	b.engine.ScheduleArg(b.cfg.AccessLatency, b.processFn, nm.Payload)
 }
 
 func (b *DirectoryBank) process(m *Msg) {
 	switch m.Type {
 	case MsgFwdDone:
 		b.handleFwdDone(m)
+		b.pool.put(m)
 	case MsgGetS, MsgGetM, MsgPutM, MsgPutO, MsgPutE:
 		e := b.entryOf(m.Addr)
 		if e.busy {
 			e.queue = append(e.queue, m)
 			return
 		}
-		b.handleRequest(e, m)
+		b.dispatchRequest(e, m)
 	default:
 		panic(fmt.Sprintf("%s: unexpected message %v", b.cfg.Name, m))
+	}
+}
+
+// dispatchRequest runs a request the bank owns and releases it afterwards
+// unless handling parked it as the entry's pending transaction (waiting on an
+// owner's FwdDone, which releases it).
+func (b *DirectoryBank) dispatchRequest(e *dirEntry, m *Msg) {
+	b.handleRequest(e, m)
+	if e.pending != m {
+		b.pool.put(m)
 	}
 }
 
@@ -194,72 +211,85 @@ func (b *DirectoryBank) handleRequest(e *dirEntry, m *Msg) {
 }
 
 func (b *DirectoryBank) handleGetS(e *dirEntry, m *Msg) {
+	// The L2-fill continuations capture the request's fields, not the
+	// request: m is released when dispatchRequest returns, which can be
+	// before a DRAM fill completes.
+	addr, req := m.Addr, m.Requestor
 	switch e.state {
 	case DirInvalid:
 		// No cache holds the line: grant Exclusive, as x86-style protocols do
 		// for the first reader.
-		b.withL2Data(e, m.Addr, func() {
-			send(b.net, b.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor})
+		b.withL2Data(e, addr, func() {
+			send(b.net, b.id, req, b.pool.get(MsgDataExcl, addr, req))
 			e.state = DirExclusive
-			e.owner = m.Requestor
+			e.owner = req
 		})
 	case DirShared:
-		b.withL2Data(e, m.Addr, func() {
-			send(b.net, b.id, m.Requestor, &Msg{Type: MsgData, Addr: m.Addr, Requestor: m.Requestor})
-			e.sharers[m.Requestor] = struct{}{}
+		b.withL2Data(e, addr, func() {
+			send(b.net, b.id, req, b.pool.get(MsgData, addr, req))
+			e.sharers[req] = struct{}{}
 		})
 	case DirExclusive, DirOwned:
 		e.busy = true
 		e.pending = m
 		b.forwards.Inc()
-		send(b.net, b.id, e.owner, &Msg{Type: MsgFwdGetS, Addr: m.Addr, Requestor: m.Requestor})
+		send(b.net, b.id, e.owner, b.pool.get(MsgFwdGetS, addr, req))
 	}
 }
 
 func (b *DirectoryBank) handleGetM(e *dirEntry, m *Msg) {
+	// As in handleGetS, the L2-fill continuation captures fields, not m.
+	addr, req := m.Addr, m.Requestor
 	switch e.state {
 	case DirInvalid:
-		b.withL2Data(e, m.Addr, func() {
-			send(b.net, b.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor})
+		b.withL2Data(e, addr, func() {
+			send(b.net, b.id, req, b.pool.get(MsgDataExcl, addr, req))
 			e.state = DirExclusive
-			e.owner = m.Requestor
+			e.owner = req
 		})
 	case DirShared:
-		others := e.sharerList(m.Requestor)
-		_, wasSharer := e.sharers[m.Requestor]
+		others := e.sharerList(req)
+		_, wasSharer := e.sharers[req]
 		for _, s := range others {
 			b.invsSent.Inc()
-			send(b.net, b.id, s, &Msg{Type: MsgInv, Addr: m.Addr, Requestor: m.Requestor})
+			send(b.net, b.id, s, b.pool.get(MsgInv, addr, req))
 		}
 		if wasSharer {
-			send(b.net, b.id, m.Requestor, &Msg{Type: MsgAckCount, Addr: m.Addr, Requestor: m.Requestor, AckCount: len(others)})
+			ackc := b.pool.get(MsgAckCount, addr, req)
+			ackc.AckCount = len(others)
+			send(b.net, b.id, req, ackc)
 			e.state = DirExclusive
-			e.owner = m.Requestor
+			e.owner = req
 			e.sharers = make(map[noc.NodeID]struct{})
 		} else {
-			b.withL2Data(e, m.Addr, func() {
-				send(b.net, b.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor, AckCount: len(others)})
+			acks := len(others)
+			b.withL2Data(e, addr, func() {
+				excl := b.pool.get(MsgDataExcl, addr, req)
+				excl.AckCount = acks
+				send(b.net, b.id, req, excl)
 				e.state = DirExclusive
-				e.owner = m.Requestor
+				e.owner = req
 				e.sharers = make(map[noc.NodeID]struct{})
 			})
 		}
 	case DirExclusive:
-		if e.owner == m.Requestor {
-			panic(fmt.Sprintf("%s: GetM from current exclusive owner %d for %v", b.cfg.Name, m.Requestor, m.Addr))
+		if e.owner == req {
+			panic(fmt.Sprintf("%s: GetM from current exclusive owner %d for %v", b.cfg.Name, req, addr))
 		}
 		e.busy = true
 		e.pending = m
 		b.forwards.Inc()
-		send(b.net, b.id, e.owner, &Msg{Type: MsgFwdGetM, Addr: m.Addr, Requestor: m.Requestor, AckCount: 0})
+		send(b.net, b.id, e.owner, b.pool.get(MsgFwdGetM, addr, req))
 	case DirOwned:
-		others := e.sharerList(m.Requestor)
+		others := e.sharerList(req)
 		for _, s := range others {
 			b.invsSent.Inc()
-			send(b.net, b.id, s, &Msg{Type: MsgInv, Addr: m.Addr, Requestor: m.Requestor})
+			send(b.net, b.id, s, b.pool.get(MsgInv, addr, req))
 		}
-		if e.owner == m.Requestor {
-			send(b.net, b.id, m.Requestor, &Msg{Type: MsgAckCount, Addr: m.Addr, Requestor: m.Requestor, AckCount: len(others)})
+		if e.owner == req {
+			ackc := b.pool.get(MsgAckCount, addr, req)
+			ackc.AckCount = len(others)
+			send(b.net, b.id, req, ackc)
 			e.state = DirExclusive
 			e.sharers = make(map[noc.NodeID]struct{})
 			return
@@ -267,14 +297,16 @@ func (b *DirectoryBank) handleGetM(e *dirEntry, m *Msg) {
 		e.busy = true
 		e.pending = m
 		b.forwards.Inc()
-		send(b.net, b.id, e.owner, &Msg{Type: MsgFwdGetM, Addr: m.Addr, Requestor: m.Requestor, AckCount: len(others)})
+		fwd := b.pool.get(MsgFwdGetM, addr, req)
+		fwd.AckCount = len(others)
+		send(b.net, b.id, e.owner, fwd)
 	}
 }
 
 func (b *DirectoryBank) handlePut(e *dirEntry, m *Msg) {
 	isOwner := (e.state == DirExclusive || e.state == DirOwned) && e.owner == m.Requestor
 	if !isOwner {
-		send(b.net, b.id, m.Requestor, &Msg{Type: MsgPutAckStale, Addr: m.Addr, Requestor: m.Requestor})
+		send(b.net, b.id, m.Requestor, b.pool.get(MsgPutAckStale, m.Addr, m.Requestor))
 		return
 	}
 	if m.Dirty {
@@ -292,7 +324,7 @@ func (b *DirectoryBank) handlePut(e *dirEntry, m *Msg) {
 			e.state = DirShared
 		}
 	}
-	send(b.net, b.id, m.Requestor, &Msg{Type: MsgPutAck, Addr: m.Addr, Requestor: m.Requestor})
+	send(b.net, b.id, m.Requestor, b.pool.get(MsgPutAck, m.Addr, m.Requestor))
 }
 
 func (b *DirectoryBank) handleFwdDone(m *Msg) {
@@ -332,6 +364,7 @@ func (b *DirectoryBank) handleFwdDone(m *Msg) {
 	}
 	e.busy = false
 	e.pending = nil
+	b.pool.put(p)
 	b.drainQueue(e)
 }
 
@@ -339,7 +372,7 @@ func (b *DirectoryBank) drainQueue(e *dirEntry) {
 	for !e.busy && len(e.queue) > 0 {
 		next := e.queue[0]
 		e.queue = e.queue[1:]
-		b.handleRequest(e, next)
+		b.dispatchRequest(e, next)
 	}
 }
 

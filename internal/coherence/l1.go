@@ -69,6 +69,14 @@ type L1Controller struct {
 	evictions map[mem.LineAddr]*evictEntry
 	stalled   []pendingAccess
 
+	// pool recycles protocol messages (see msgPool for the ownership rules).
+	pool msgPool
+	// paFree recycles the carriers that ride core requests through the
+	// tag-latency delay, and handleFn is that continuation bound once, so
+	// Access schedules without allocating (see Engine.ScheduleArg).
+	paFree   []*pendingAccess
+	handleFn func(any)
+
 	hits        *stats.Counter
 	misses      *stats.Counter
 	evictsClean *stats.Counter
@@ -91,6 +99,13 @@ func NewL1Controller(engine *sim.Engine, id noc.NodeID, net noc.Network, banks B
 		checker:   checker,
 		mshrs:     make(map[mem.LineAddr]*mshr),
 		evictions: make(map[mem.LineAddr]*evictEntry),
+	}
+	c.handleFn = func(a any) {
+		pa := a.(*pendingAccess)
+		p := *pa
+		*pa = pendingAccess{}
+		c.paFree = append(c.paFree, pa)
+		c.handle(p)
 	}
 	c.hits = reg.Counter(cfg.Name + ".hits")
 	c.misses = reg.Counter(cfg.Name + ".misses")
@@ -115,9 +130,16 @@ func (c *L1Controller) Access(req mem.Request, done func()) {
 		panic(fmt.Sprintf("%s: %v", c.cfg.Name, err))
 	}
 	req.Requestor = int(c.id)
-	c.engine.Schedule(c.cfg.HitLatency, func() {
-		c.handle(pendingAccess{req: req, done: done})
-	})
+	var pa *pendingAccess
+	if n := len(c.paFree); n > 0 {
+		pa = c.paFree[n-1]
+		c.paFree[n-1] = nil
+		c.paFree = c.paFree[:n-1]
+	} else {
+		pa = new(pendingAccess)
+	}
+	pa.req, pa.done = req, done
+	c.engine.ScheduleArg(c.cfg.HitLatency, c.handleFn, pa)
 }
 
 // handle processes a request after the tag-access latency has been charged.
@@ -193,13 +215,11 @@ func (c *L1Controller) startTransaction(p pendingAccess, line *cache.Line, needW
 	line.State = initial
 	m := &mshr{addr: addr, wantWrite: needWrite, fromOwned: fromOwned, primary: p, acksNeeded: -1}
 	c.mshrs[addr] = m
-	req := &Msg{Addr: addr, Requestor: c.id}
+	typ := MsgGetS
 	if needWrite {
-		req.Type = MsgGetM
-	} else {
-		req.Type = MsgGetS
+		typ = MsgGetM
 	}
-	send(c.net, c.id, c.banks(addr), req)
+	send(c.net, c.id, c.banks(addr), c.pool.get(typ, addr, c.id))
 }
 
 // evictLine handles a victim chosen by the replacement policy.
@@ -214,36 +234,46 @@ func (c *L1Controller) evictLine(victim cache.Line) {
 		c.evictsClean.Inc()
 		c.checker.Record(c.id, victim.Addr, cache.Invalid)
 		c.evictions[victim.Addr] = &evictEntry{state: cache.EIA}
-		send(c.net, c.id, c.banks(victim.Addr), &Msg{Type: MsgPutE, Addr: victim.Addr, Requestor: c.id})
+		send(c.net, c.id, c.banks(victim.Addr), c.pool.get(MsgPutE, victim.Addr, c.id))
 	case cache.Modified:
 		c.evictsDirty.Inc()
 		c.checker.Record(c.id, victim.Addr, cache.Invalid)
 		c.evictions[victim.Addr] = &evictEntry{state: cache.MIA}
-		send(c.net, c.id, c.banks(victim.Addr), &Msg{Type: MsgPutM, Addr: victim.Addr, Requestor: c.id, Dirty: true})
+		put := c.pool.get(MsgPutM, victim.Addr, c.id)
+		put.Dirty = true
+		send(c.net, c.id, c.banks(victim.Addr), put)
 	case cache.Owned:
 		c.evictsDirty.Inc()
 		c.checker.Record(c.id, victim.Addr, cache.Invalid)
 		c.evictions[victim.Addr] = &evictEntry{state: cache.OIA}
-		send(c.net, c.id, c.banks(victim.Addr), &Msg{Type: MsgPutO, Addr: victim.Addr, Requestor: c.id, Dirty: true})
+		put := c.pool.get(MsgPutO, victim.Addr, c.id)
+		put.Dirty = true
+		send(c.net, c.id, c.banks(victim.Addr), put)
 	default:
 		panic(fmt.Sprintf("%s: evicting line in state %v", c.cfg.Name, victim.State))
 	}
 }
 
-// Receive implements noc.Receiver.
+// Receive implements noc.Receiver. Responses, invalidations and put-acks are
+// fully consumed here and released; forwards are released by handleFwd, which
+// may retain them in an MSHR's deferred list first.
 func (c *L1Controller) Receive(nm *noc.Message) {
 	m := nm.Payload.(*Msg)
 	switch m.Type {
 	case MsgData, MsgDataExcl, MsgAckCount:
 		c.handleResponse(m)
+		c.pool.put(m)
 	case MsgInvAck:
 		c.handleInvAck(m)
+		c.pool.put(m)
 	case MsgFwdGetS, MsgFwdGetM:
 		c.handleFwd(m)
 	case MsgInv:
 		c.handleInv(m)
+		c.pool.put(m)
 	case MsgPutAck, MsgPutAckStale:
 		c.handlePutAck(m)
+		c.pool.put(m)
 	default:
 		panic(fmt.Sprintf("%s: unexpected message %v", c.cfg.Name, m))
 	}
@@ -367,6 +397,9 @@ func (c *L1Controller) completeAndInvalidate(ms *mshr, line *cache.Line) {
 	c.retryStalled()
 }
 
+// handleFwd owns the incoming forward: every path releases it except the
+// deferred append, which hands ownership to the MSHR until complete /
+// completeAndInvalidate re-submit it here.
 func (c *L1Controller) handleFwd(m *Msg) {
 	c.fwdsRecv.Inc()
 	if ms := c.mshrs[m.Addr]; ms != nil {
@@ -376,6 +409,7 @@ func (c *L1Controller) handleFwd(m *Msg) {
 		// blocked on our answer, so respond now from the data we still hold.
 		if ms.fromOwned && line != nil && line.State == cache.SMAD {
 			c.fwdWhileUpgrading(m, ms, line)
+			c.pool.put(m)
 			return
 		}
 		// Otherwise the directory has already granted our transaction; the
@@ -386,6 +420,7 @@ func (c *L1Controller) handleFwd(m *Msg) {
 	}
 	if ev := c.evictions[m.Addr]; ev != nil {
 		c.fwdFromEviction(m, ev)
+		c.pool.put(m)
 		return
 	}
 	line := c.array.Lookup(m.Addr)
@@ -398,7 +433,7 @@ func (c *L1Controller) handleFwd(m *Msg) {
 	}
 	switch m.Type {
 	case MsgFwdGetS:
-		send(c.net, c.id, m.Requestor, &Msg{Type: MsgData, Addr: m.Addr, Requestor: m.Requestor})
+		send(c.net, c.id, m.Requestor, c.pool.get(MsgData, m.Addr, m.Requestor))
 		switch line.State {
 		case cache.Modified:
 			line.State = cache.Owned
@@ -413,11 +448,14 @@ func (c *L1Controller) handleFwd(m *Msg) {
 		}
 	case MsgFwdGetM:
 		dirty := line.State == cache.Modified || line.State == cache.Owned
-		send(c.net, c.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor, AckCount: m.AckCount})
+		excl := c.pool.get(MsgDataExcl, m.Addr, m.Requestor)
+		excl.AckCount = m.AckCount
+		send(c.net, c.id, m.Requestor, excl)
 		c.array.Invalidate(m.Addr)
 		c.checker.Record(c.id, m.Addr, cache.Invalid)
 		c.sendFwdDone(m.Addr, cache.Invalid, dirty)
 	}
+	c.pool.put(m)
 }
 
 // fwdWhileUpgrading answers a forward received while an upgrade from Owned is
@@ -427,12 +465,14 @@ func (c *L1Controller) fwdWhileUpgrading(m *Msg, ms *mshr, line *cache.Line) {
 	case MsgFwdGetS:
 		// Supply data and remain the owner; our GetM will be processed later
 		// with this cache still registered as owner.
-		send(c.net, c.id, m.Requestor, &Msg{Type: MsgData, Addr: m.Addr, Requestor: m.Requestor})
+		send(c.net, c.id, m.Requestor, c.pool.get(MsgData, m.Addr, m.Requestor))
 		c.sendFwdDone(m.Addr, cache.Owned, true)
 	case MsgFwdGetM:
 		// Another writer was ordered first: hand over the line; our GetM will
 		// be answered later with full data.
-		send(c.net, c.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor, AckCount: m.AckCount})
+		excl := c.pool.get(MsgDataExcl, m.Addr, m.Requestor)
+		excl.AckCount = m.AckCount
+		send(c.net, c.id, m.Requestor, excl)
 		c.sendFwdDone(m.Addr, cache.Invalid, true)
 		line.State = cache.IMAD
 		ms.fromOwned = false
@@ -446,7 +486,7 @@ func (c *L1Controller) fwdWhileUpgrading(m *Msg, ms *mshr, line *cache.Line) {
 func (c *L1Controller) fwdFromEviction(m *Msg, ev *evictEntry) {
 	switch m.Type {
 	case MsgFwdGetS:
-		send(c.net, c.id, m.Requestor, &Msg{Type: MsgData, Addr: m.Addr, Requestor: m.Requestor})
+		send(c.net, c.id, m.Requestor, c.pool.get(MsgData, m.Addr, m.Requestor))
 		switch ev.state {
 		case cache.MIA:
 			ev.state = cache.OIA
@@ -461,20 +501,25 @@ func (c *L1Controller) fwdFromEviction(m *Msg, ev *evictEntry) {
 		}
 	case MsgFwdGetM:
 		dirty := ev.state == cache.MIA || ev.state == cache.OIA
-		send(c.net, c.id, m.Requestor, &Msg{Type: MsgDataExcl, Addr: m.Addr, Requestor: m.Requestor, AckCount: m.AckCount})
+		excl := c.pool.get(MsgDataExcl, m.Addr, m.Requestor)
+		excl.AckCount = m.AckCount
+		send(c.net, c.id, m.Requestor, excl)
 		c.sendFwdDone(m.Addr, cache.Invalid, dirty)
 		ev.state = cache.IIA
 	}
 }
 
 func (c *L1Controller) sendFwdDone(addr mem.LineAddr, kept cache.State, dirty bool) {
-	send(c.net, c.id, c.banks(addr), &Msg{Type: MsgFwdDone, Addr: addr, Requestor: c.id, OwnerKept: kept, Dirty: dirty})
+	done := c.pool.get(MsgFwdDone, addr, c.id)
+	done.OwnerKept = kept
+	done.Dirty = dirty
+	send(c.net, c.id, c.banks(addr), done)
 }
 
 func (c *L1Controller) handleInv(m *Msg) {
 	c.invsRecv.Inc()
 	ack := func() {
-		send(c.net, c.id, m.Requestor, &Msg{Type: MsgInvAck, Addr: m.Addr, Requestor: m.Requestor})
+		send(c.net, c.id, m.Requestor, c.pool.get(MsgInvAck, m.Addr, m.Requestor))
 	}
 	if ms := c.mshrs[m.Addr]; ms != nil {
 		line := c.array.Lookup(m.Addr)

@@ -126,9 +126,49 @@ func (m *Msg) sizeBytes() int {
 	return CtrlMsgBytes
 }
 
-// send wraps the protocol message in a network message and sends it.
+// msgPool is a free list of protocol messages. Every controller owns one:
+// senders allocate from their own pool and the receiving controller releases
+// into its own, so objects migrate between pools but the total stays bounded
+// and parallel runs share no mutable state.
+//
+// Ownership: a *Msg handed to send belongs to the receiver from delivery on.
+// The receiver releases it once the message is fully handled; messages it
+// retains (a directory's pending/queued requests, an L1's deferred forwards)
+// are released when that later processing completes. Code that runs after the
+// handler returns (DRAM-fill continuations) must copy the fields it needs
+// rather than capture the message.
+type msgPool struct {
+	free []*Msg
+}
+
+// get returns a message with the given header fields and all others zeroed.
+func (p *msgPool) get(t MsgType, addr mem.LineAddr, req noc.NodeID) *Msg {
+	var m *Msg
+	if n := len(p.free); n > 0 {
+		m = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		m = new(Msg)
+	}
+	m.Type, m.Addr, m.Requestor = t, addr, req
+	m.AckCount = 0
+	m.OwnerKept = cache.Invalid
+	m.Dirty = false
+	return m
+}
+
+// put releases a fully-handled message back to the free list.
+func (p *msgPool) put(m *Msg) {
+	p.free = append(p.free, m)
+}
+
+// send wraps the protocol message in a pooled network message and sends it;
+// the network recycles its envelope after delivery.
 func send(net noc.Network, src, dst noc.NodeID, m *Msg) {
-	net.Send(&noc.Message{Src: src, Dst: dst, SizeBytes: m.sizeBytes(), Payload: m})
+	nm := net.NewMessage()
+	nm.Src, nm.Dst, nm.SizeBytes, nm.Payload = src, dst, m.sizeBytes(), m
+	net.Send(nm)
 }
 
 // String formats the message for traces.

@@ -23,6 +23,10 @@ func (m *Machine) Metrics() map[string]float64 {
 		"cpu.instructions":        float64(s.SumMatch("cpu", ".instructions")),
 		"mttop.instructions":      float64(s.SumMatch("mttop", ".instructions")),
 		"cpu.busy_us":             float64(s.SumMatch("cpu", ".busy_ps")) / 1e6,
+		// sim.events is the engine's executed-event count: the denominator-free
+		// measure of simulator work that the benchmark harness turns into
+		// events/sec throughput.
+		"sim.events": float64(m.Engine.Executed()),
 	}
 	stats.AddRate(out, "l1.hit_rate",
 		s.SumMatch("", ".l1.hits"), s.SumMatch("", ".l1.misses"))

@@ -62,6 +62,19 @@ type Core struct {
 	// onExit callbacks fire when a thread finishes, keyed per thread start.
 	onExit map[*exec.Thread]func()
 
+	// The core runs one operation at a time (busy), so the in-flight op's
+	// state lives here and the hot-path callbacks below are bound once at
+	// construction: executing a compute or memory op allocates nothing.
+	op exec.Op
+	pa mem.PAddr
+	// computeFn completes a compute op; translateCb receives the MMU result;
+	// accessCb runs when the cache access is globally performed; retryMemFn
+	// reissues the op after a serviced page fault.
+	computeFn   func(any)
+	translateCb func(mem.PAddr, *vm.Fault)
+	accessCb    func()
+	retryMemFn  func()
+
 	instrs     *stats.Counter
 	memOps     *stats.Counter
 	pageFaults *stats.Counter
@@ -85,6 +98,18 @@ func New(engine *sim.Engine, cfg Config, port mem.Port, mmu *vm.MMU, phys *mem.P
 		kernel: kernel,
 		onExit: make(map[*exec.Thread]func()),
 	}
+	c.computeFn = func(any) { c.completeOp(c.current, exec.Result{}) }
+	c.translateCb = func(pa mem.PAddr, fault *vm.Fault) {
+		if fault == nil {
+			c.access(pa)
+			return
+		}
+		c.ServicePageFault(fault, c.retryMemFn)
+	}
+	c.accessCb = func() {
+		c.completeOp(c.current, exec.Result{Value: PerformFunctional(c.phys, c.op, c.pa)})
+	}
+	c.retryMemFn = func() { c.memAccess() }
 	c.instrs = reg.Counter(cfg.Name + ".instructions")
 	c.memOps = reg.Counter(cfg.Name + ".mem_ops")
 	c.pageFaults = reg.Counter(cfg.Name + ".page_faults")
@@ -186,19 +211,18 @@ func (c *Core) computeDuration(instrs int64) sim.Duration {
 }
 
 func (c *Core) execute(op exec.Op) {
+	// The core is busy until the op completes, so c.current is stable for
+	// the op's lifetime and the prebound callbacks may use it directly.
 	t := c.current
 	switch op.Kind {
 	case exec.OpCompute:
 		c.instrs.Add(uint64(op.Instrs))
-		c.engine.Schedule(c.computeDuration(op.Instrs), func() {
-			c.completeOp(t, exec.Result{})
-		})
+		c.engine.ScheduleArg(c.computeDuration(op.Instrs), c.computeFn, nil)
 	case exec.OpLoad, exec.OpStore, exec.OpRMW:
 		c.memOps.Inc()
 		c.instrs.Inc()
-		c.memAccess(op, func(val uint64) {
-			c.completeOp(t, exec.Result{Value: val})
-		})
+		c.op = op
+		c.memAccess()
 	case exec.OpSyscall:
 		if c.syscall == nil {
 			panic(fmt.Sprintf("%s: syscall %d with no handler installed", c.cfg.Name, op.Syscall))
@@ -220,28 +244,15 @@ func (c *Core) completeOp(t *exec.Thread, r exec.Result) {
 	c.step()
 }
 
-// memAccess translates and performs one memory operation, handling page
-// faults locally (this is a CPU core: faults trap straight into the kernel).
-func (c *Core) memAccess(op exec.Op, done func(val uint64)) {
-	c.translate(op.Addr, op.Kind != exec.OpLoad, func(pa mem.PAddr) {
-		c.access(op, pa, done)
-	})
-}
-
-func (c *Core) translate(va mem.VAddr, write bool, use func(pa mem.PAddr)) {
+// memAccess translates and performs the in-flight memory operation (c.op),
+// handling page faults locally (this is a CPU core: faults trap straight
+// into the kernel, then retryMemFn reissues the op).
+func (c *Core) memAccess() {
 	if c.mmu == nil {
-		use(mem.PAddr(va))
+		c.access(mem.PAddr(c.op.Addr))
 		return
 	}
-	c.mmu.Translate(va, write, func(pa mem.PAddr, fault *vm.Fault) {
-		if fault == nil {
-			use(pa)
-			return
-		}
-		c.ServicePageFault(fault, func() {
-			c.translate(va, write, use)
-		})
-	})
+	c.mmu.Translate(c.op.Addr, c.op.Kind != exec.OpLoad, c.translateCb)
 }
 
 // ServicePageFault runs the kernel's demand-paging handler on this core:
@@ -259,11 +270,11 @@ func (c *Core) ServicePageFault(fault *vm.Fault, resume func()) {
 	})
 }
 
-// access performs the timed cache access and the functional data movement at
-// completion time.
-func (c *Core) access(op exec.Op, pa mem.PAddr, done func(val uint64)) {
+// access performs the timed cache access for c.op; the prebound accessCb
+// applies the functional data movement at completion time.
+func (c *Core) access(pa mem.PAddr) {
 	var typ mem.AccessType
-	switch op.Kind {
+	switch c.op.Kind {
 	case exec.OpLoad:
 		typ = mem.Read
 	case exec.OpStore:
@@ -271,9 +282,8 @@ func (c *Core) access(op exec.Op, pa mem.PAddr, done func(val uint64)) {
 	case exec.OpRMW:
 		typ = mem.ReadModifyWrite
 	}
-	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: op.Size}, func() {
-		done(PerformFunctional(c.phys, op, pa))
-	})
+	c.pa = pa
+	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: c.op.Size}, c.accessCb)
 }
 
 // PerformFunctional applies the functional effect of a completed memory

@@ -30,12 +30,22 @@ type Config struct {
 	Name string
 }
 
-// hwContext is one hardware thread context.
+// hwContext is one hardware thread context. A context runs one operation at
+// a time, so the in-flight op's state lives here and the per-op callbacks
+// (translateCb, accessCb) are bound once at core construction — the hot
+// issue/translate/access path allocates nothing per operation.
 type hwContext struct {
 	idx    int
 	thread *exec.Thread
 	onDone func()
 	busy   bool
+
+	op exec.Op
+	pa mem.PAddr
+	// translateCb receives the MMU translation of op.Addr; accessCb runs
+	// when the cache access for the op is globally performed.
+	translateCb func(mem.PAddr, *vm.Fault)
+	accessCb    func()
 }
 
 // Core is one MTTOP core.
@@ -52,6 +62,12 @@ type Core struct {
 	// issueFree is the shared issue-bandwidth bucket: each operation reserves
 	// 1/IssueWidth of a cycle.
 	issueFree sim.Time
+
+	// completeFn and memIssueFn are the engine callbacks for compute-op
+	// completion and memory-op issue, bound once so scheduling them never
+	// allocates a closure (the context rides as the event argument).
+	completeFn func(any)
+	memIssueFn func(any)
 
 	instrs     *stats.Counter
 	memOps     *stats.Counter
@@ -75,9 +91,14 @@ func New(engine *sim.Engine, cfg Config, port mem.Port, mmu *vm.MMU, phys *mem.P
 		contexts: make([]hwContext, cfg.NumContexts),
 	}
 	for i := range c.contexts {
-		c.contexts[i].idx = i
+		h := &c.contexts[i]
+		h.idx = i
+		h.translateCb = func(pa mem.PAddr, fault *vm.Fault) { c.translated(h, pa, fault) }
+		h.accessCb = func() { c.accessDone(h) }
 		c.free = append(c.free, i)
 	}
+	c.completeFn = func(a any) { c.completeOp(a.(*hwContext), exec.Result{}) }
+	c.memIssueFn = func(a any) { c.memAccess(a.(*hwContext)) }
 	c.instrs = reg.Counter(cfg.Name + ".instructions")
 	c.memOps = reg.Counter(cfg.Name + ".mem_ops")
 	c.pageFaults = reg.Counter(cfg.Name + ".page_faults")
@@ -188,16 +209,13 @@ func (c *Core) execute(h *hwContext, op exec.Op) {
 		if slotEnd > end {
 			end = slotEnd
 		}
-		c.engine.At(end, func() { c.completeOp(h, exec.Result{}) })
+		c.engine.AtArg(end, c.completeFn, h)
 	case exec.OpLoad, exec.OpStore, exec.OpRMW:
 		c.instrs.Inc()
 		c.memOps.Inc()
+		h.op = op
 		issueAt := c.reserveIssueSlots(1)
-		c.engine.At(issueAt, func() {
-			c.memAccess(h, op, func(val uint64) {
-				c.completeOp(h, exec.Result{Value: val})
-			})
-		})
+		c.engine.AtArg(issueAt, c.memIssueFn, h)
 	case exec.OpSyscall:
 		// MTTOP cores do not run the OS (Section 3.2.1); OS services are
 		// obtained by signalling a CPU thread through shared memory instead.
@@ -213,31 +231,33 @@ func (c *Core) completeOp(h *hwContext, r exec.Result) {
 	c.stepContext(h)
 }
 
-func (c *Core) memAccess(h *hwContext, op exec.Op, done func(val uint64)) {
-	write := op.Kind != exec.OpLoad
+func (c *Core) memAccess(h *hwContext) {
+	write := h.op.Kind != exec.OpLoad
 	if c.mmu == nil {
-		c.issueToPort(op, mem.PAddr(op.Addr), done)
+		c.issueToPort(h, mem.PAddr(h.op.Addr))
 		return
 	}
-	c.mmu.Translate(op.Addr, write, func(pa mem.PAddr, fault *vm.Fault) {
-		if fault != nil {
-			// The MTTOP core cannot run the fault handler; the MIFD
-			// interrupts a CPU core on our behalf and resumes us afterwards.
-			c.pageFaults.Inc()
-			c.faults.RaiseMTTOPPageFault(fault, func() {
-				c.memAccess(h, op, done)
-			})
-			return
-		}
-		c.issueToPort(op, pa, done)
-	})
+	c.mmu.Translate(h.op.Addr, write, h.translateCb)
+}
+
+// translated continues a memory op once the MMU has resolved its address.
+func (c *Core) translated(h *hwContext, pa mem.PAddr, fault *vm.Fault) {
+	if fault != nil {
+		// The MTTOP core cannot run the fault handler; the MIFD interrupts a
+		// CPU core on our behalf and resumes us afterwards. Faults are rare,
+		// so the resume closure is off the hot path.
+		c.pageFaults.Inc()
+		c.faults.RaiseMTTOPPageFault(fault, func() { c.memAccess(h) })
+		return
+	}
+	c.issueToPort(h, pa)
 }
 
 // issueToPort performs the timed cache access and the functional data
 // movement at completion time.
-func (c *Core) issueToPort(op exec.Op, pa mem.PAddr, done func(val uint64)) {
+func (c *Core) issueToPort(h *hwContext, pa mem.PAddr) {
 	var typ mem.AccessType
-	switch op.Kind {
+	switch h.op.Kind {
 	case exec.OpLoad:
 		typ = mem.Read
 	case exec.OpStore:
@@ -245,7 +265,12 @@ func (c *Core) issueToPort(op exec.Op, pa mem.PAddr, done func(val uint64)) {
 	case exec.OpRMW:
 		typ = mem.ReadModifyWrite
 	}
-	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: op.Size}, func() {
-		done(performFunctional(c.phys, op, pa))
-	})
+	h.pa = pa
+	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: h.op.Size}, h.accessCb)
+}
+
+// accessDone completes a memory op: the functional effect happens at the time
+// the access is globally performed, exactly as the closure-based path did.
+func (c *Core) accessDone(h *hwContext) {
+	c.completeOp(h, exec.Result{Value: performFunctional(c.phys, h.op, h.pa)})
 }

@@ -28,20 +28,30 @@ type Crossbar struct {
 	receivers map[NodeID]Receiver
 	freeAt    sim.Time
 
+	// pool recycles delivered messages; deliverFn is bound once so delivery
+	// scheduling allocates no closure.
+	pool      msgPool
+	deliverFn func(any)
+
 	msgs  *stats.Counter
 	bytes *stats.Counter
 }
 
 // NewCrossbar builds a crossbar.
 func NewCrossbar(engine *sim.Engine, cfg CrossbarConfig, reg *stats.Registry, name string) *Crossbar {
-	return &Crossbar{
+	x := &Crossbar{
 		cfg:       cfg,
 		engine:    engine,
 		receivers: make(map[NodeID]Receiver),
 		msgs:      reg.Counter(name + ".messages"),
 		bytes:     reg.Counter(name + ".bytes"),
 	}
+	x.deliverFn = func(a any) { x.deliver(a.(*Message)) }
+	return x
 }
+
+// NewMessage implements Network.
+func (x *Crossbar) NewMessage() *Message { return x.pool.get() }
 
 // Attach implements Network.
 func (x *Crossbar) Attach(id NodeID, r Receiver) {
@@ -66,13 +76,16 @@ func (x *Crossbar) Send(msg *Message) {
 		start = x.freeAt
 	}
 	arrive := start.Add(x.cfg.Latency)
-	x.engine.At(arrive, func() {
-		r, ok := x.receivers[msg.Dst]
-		if !ok {
-			panic(fmt.Sprintf("noc: crossbar message to unattached node %d", msg.Dst))
-		}
-		r.Receive(msg)
-	})
+	x.engine.AtArg(arrive, x.deliverFn, msg)
+}
+
+func (x *Crossbar) deliver(msg *Message) {
+	r, ok := x.receivers[msg.Dst]
+	if !ok {
+		panic(fmt.Sprintf("noc: crossbar message to unattached node %d", msg.Dst))
+	}
+	r.Receive(msg)
+	x.pool.put(msg)
 }
 
 var _ Network = (*Crossbar)(nil)

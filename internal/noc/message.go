@@ -13,6 +13,11 @@ type NodeID int
 // Message is the unit of transfer on the network. The coherence protocol
 // stores its own payload in Payload; the network only needs source,
 // destination and size.
+//
+// Messages obtained from Network.NewMessage are recycled by the network after
+// delivery: they are valid inside Receiver.Receive but must not be retained
+// afterwards. Messages constructed directly (&Message{...}) are never
+// recycled, so tests may hold on to them.
 type Message struct {
 	// Src and Dst are the endpoints.
 	Src, Dst NodeID
@@ -25,11 +30,46 @@ type Message struct {
 	// Enqueued is stamped by the network when the message is accepted, for
 	// latency accounting.
 	Enqueued sim.Time
+
+	// fromPool marks messages owned by a network free list; only those are
+	// recycled after delivery.
+	fromPool bool
+	// cur and dst are the torus routing state: the router the message sits
+	// at and its destination coordinate. Keeping the walk state on the
+	// message (the "flit buffer") avoids allocating a path slice per send.
+	cur, dst Coord
 }
 
 // String formats the message for traces.
 func (m *Message) String() string {
 	return fmt.Sprintf("msg %d->%d (%dB)", m.Src, m.Dst, m.SizeBytes)
+}
+
+// msgPool is a network-owned free list of messages. Each network instance
+// has its own pool, so parallel runs share no mutable state.
+type msgPool struct {
+	free []*Message
+}
+
+// get returns a zeroed pooled message.
+func (p *msgPool) get() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Message{fromPool: true}
+}
+
+// put recycles a delivered pooled message; caller-constructed messages are
+// left alone.
+func (p *msgPool) put(m *Message) {
+	if !m.fromPool {
+		return
+	}
+	*m = Message{fromPool: true}
+	p.free = append(p.free, m)
 }
 
 // Receiver is implemented by every endpoint attached to a network; the
@@ -49,4 +89,8 @@ type Network interface {
 	// source and destination pair is preserved (the torus uses deterministic
 	// dimension-order routing with FIFO links).
 	Send(msg *Message)
+	// NewMessage returns a message from the network's free list for the hot
+	// send path. The network recycles it after delivery (see Message), so
+	// senders fill it, Send it, and never touch it again.
+	NewMessage() *Message
 }

@@ -230,6 +230,56 @@ func TestCrossbarUnlimitedBandwidth(t *testing.T) {
 	}
 }
 
+// TestTorusMessageRecycling checks the pool contract: messages from
+// NewMessage are recycled after delivery and reused, while caller-constructed
+// messages are left alone so tests may retain them.
+func TestTorusMessageRecycling(t *testing.T) {
+	engine, torus, sinks := buildTorus(t, 2, 2)
+	m := torus.NewMessage()
+	m.Src, m.Dst, m.SizeBytes, m.Payload = 0, 1, 16, "pooled"
+	torus.Send(m)
+	engine.Run()
+	if len(sinks[1].arrivals) != 1 {
+		t.Fatalf("pooled message not delivered")
+	}
+	if got := torus.NewMessage(); got != m {
+		t.Fatal("delivered pooled message was not recycled by NewMessage")
+	} else if got.Payload != nil || got.SizeBytes != 0 {
+		t.Fatalf("recycled message not zeroed: %+v", got)
+	}
+
+	direct := &Message{Src: 0, Dst: 1, SizeBytes: 16, Payload: "direct"}
+	torus.Send(direct)
+	engine.Run()
+	if direct.Payload != "direct" {
+		t.Fatal("caller-constructed message was clobbered by the pool")
+	}
+	if torus.NewMessage() == direct {
+		t.Fatal("caller-constructed message must not enter the pool")
+	}
+}
+
+// TestTorusSteadyStateSendAllocationFree proves the hot send path allocates
+// nothing once the message pool and the engine's event pool are warm.
+func TestTorusSteadyStateSendAllocationFree(t *testing.T) {
+	engine, torus, _ := buildTorus(t, 4, 4)
+	for i := 0; i < 100; i++ {
+		m := torus.NewMessage()
+		m.Src, m.Dst, m.SizeBytes = 0, 10, 80
+		torus.Send(m)
+	}
+	engine.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		m := torus.NewMessage()
+		m.Src, m.Dst, m.SizeBytes = 0, 10, 80
+		torus.Send(m)
+		engine.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state send+deliver allocated %v objects/op, want 0", allocs)
+	}
+}
+
 // Property: random traffic on the torus is always fully delivered, to the
 // right destinations, regardless of pattern.
 func TestTorusRandomTrafficDelivered(t *testing.T) {

@@ -64,6 +64,13 @@ type Torus struct {
 	// links[from][dir] where dir indexes +X, -X, +Y, -Y.
 	links map[Coord]*[4]link
 
+	// pool recycles delivered messages; advanceFn/deliverFn are the hop and
+	// ejection callbacks bound once so per-hop scheduling allocates nothing
+	// (the walk state lives on the message itself).
+	pool      msgPool
+	advanceFn func(any)
+	deliverFn func(any)
+
 	msgs      *stats.Counter
 	bytes     *stats.Counter
 	hops      *stats.Counter
@@ -107,8 +114,13 @@ func NewTorus(engine *sim.Engine, cfg TorusConfig, placement map[NodeID]Coord, r
 	t.bytes = reg.Counter("noc.bytes")
 	t.hops = reg.Counter("noc.hops")
 	t.totalLatP = reg.Counter("noc.total_latency_ps")
+	t.advanceFn = func(a any) { t.advance(a.(*Message)) }
+	t.deliverFn = func(a any) { t.deliver(a.(*Message)) }
 	return t
 }
+
+// NewMessage implements Network.
+func (t *Torus) NewMessage() *Message { return t.pool.get() }
 
 // Attach implements Network.
 func (t *Torus) Attach(id NodeID, r Receiver) {
@@ -155,6 +167,21 @@ func (t *Torus) Route(src, dst NodeID) []Coord {
 // HopCount reports the number of link traversals between two nodes.
 func (t *Torus) HopCount(src, dst NodeID) int { return len(t.Route(src, dst)) - 1 }
 
+// ringDist is the shortest distance between two positions on a ring.
+func ringDist(a, b, size int) int {
+	d := (a - b + size) % size
+	if size-d < d {
+		d = size - d
+	}
+	return d
+}
+
+// distance is the hop count between two coordinates without materializing the
+// route (dimension-order routes are minimal).
+func (t *Torus) distance(a, b Coord) int {
+	return ringDist(a.X, b.X, t.cfg.Width) + ringDist(a.Y, b.Y, t.cfg.Height)
+}
+
 // stepToward moves one position from cur toward dst around a ring of the
 // given size, taking the shorter direction (ties go in the + direction).
 func (t *Torus) stepToward(cur, dst, size int) int {
@@ -192,33 +219,46 @@ func (t *Torus) serialization(sizeBytes int) sim.Duration {
 
 // Send implements Network. The message is walked hop by hop; each hop charges
 // router latency, waits for the outgoing link to be free, occupies it for the
-// serialization time, and traverses it in the link latency.
+// serialization time, and traverses it in the link latency. The walk state
+// lives on the message, so sending allocates no path slice and each hop
+// schedules without a closure.
 func (t *Torus) Send(msg *Message) {
 	if msg.SizeBytes <= 0 {
 		panic("noc: message with non-positive size")
 	}
+	src, ok := t.placement[msg.Src]
+	if !ok {
+		panic(fmt.Sprintf("noc: unknown source node %d", msg.Src))
+	}
+	dst, ok := t.placement[msg.Dst]
+	if !ok {
+		panic(fmt.Sprintf("noc: unknown destination node %d", msg.Dst))
+	}
 	msg.Enqueued = t.engine.Now()
+	msg.cur, msg.dst = src, dst
 	t.msgs.Inc()
 	t.bytes.Add(uint64(msg.SizeBytes))
-	path := t.Route(msg.Src, msg.Dst)
-	t.hops.Add(uint64(len(path) - 1))
-	t.advance(msg, path, 0)
+	t.hops.Add(uint64(t.distance(src, dst)))
+	t.advance(msg)
 }
 
-// advance moves the message from path[idx] toward path[idx+1]; when idx is
-// the last index the message is ejected into the destination endpoint.
-func (t *Torus) advance(msg *Message, path []Coord, idx int) {
+// advance moves the message one hop toward its destination (X dimension
+// first, then Y); at the destination router the message is ejected into the
+// endpoint.
+func (t *Torus) advance(msg *Message) {
 	now := t.engine.Now()
-	if idx == len(path)-1 {
-		t.engine.Schedule(t.cfg.EjectLatency, func() {
-			t.deliver(msg)
-		})
+	if msg.cur == msg.dst {
+		t.engine.AtArg(now.Add(t.cfg.EjectLatency), t.deliverFn, msg)
 		return
 	}
-	from := path[idx]
-	to := path[idx+1]
-	dir := dirOf(from, to, t.cfg.Width, t.cfg.Height)
-	lnk := &t.links[from][dir]
+	next := msg.cur
+	if next.X != msg.dst.X {
+		next.X = t.stepToward(next.X, msg.dst.X, t.cfg.Width)
+	} else {
+		next.Y = t.stepToward(next.Y, msg.dst.Y, t.cfg.Height)
+	}
+	dir := dirOf(msg.cur, next, t.cfg.Width, t.cfg.Height)
+	lnk := &t.links[msg.cur][dir]
 
 	// Router processing before the link.
 	readyAt := now.Add(t.cfg.RouterLatency)
@@ -230,9 +270,8 @@ func (t *Torus) advance(msg *Message, path []Coord, idx int) {
 	lnk.freeAt = start.Add(ser)
 	lnk.busyTime += ser
 	arrive := start.Add(ser).Add(t.cfg.LinkLatency)
-	t.engine.At(arrive, func() {
-		t.advance(msg, path, idx+1)
-	})
+	msg.cur = next
+	t.engine.AtArg(arrive, t.advanceFn, msg)
 }
 
 func (t *Torus) deliver(msg *Message) {
@@ -242,6 +281,7 @@ func (t *Torus) deliver(msg *Message) {
 	}
 	t.totalLatP.Add(uint64(t.engine.Now().Sub(msg.Enqueued)))
 	r.Receive(msg)
+	t.pool.put(msg)
 }
 
 var _ Network = (*Torus)(nil)

@@ -8,28 +8,54 @@ import (
 // Event is a unit of scheduled work. Events are ordered by time and, for
 // equal times, by the order in which they were scheduled, which makes every
 // simulation fully deterministic.
+//
+// Events are pooled: when an event fires (or a canceled event is drained from
+// the queue) its object goes back on the engine's free list and is reused by
+// a later At/Schedule call. A handle returned by At/Schedule is therefore
+// valid only until the event fires; callers that retain handles must drop
+// them when the callback runs (as Ticker does). Cancel on a handle whose
+// event already fired is a no-op as long as the object has not been reused.
 type Event struct {
 	when Time
 	seq  uint64
-	fn   func()
-	// canceled marks events removed with Cancel; they stay in the heap and
-	// are skipped when popped.
+	// Exactly one of fn and afn is set. afn carries its argument in arg so
+	// hot paths can schedule without allocating a closure (see AtArg).
+	fn  func()
+	afn func(any)
+	arg any
+	// canceled marks events removed with Cancel; they stay queued and are
+	// recycled when drained.
 	canceled bool
-	index    int
+	// index is the position in the overflow heap, or one of the sentinel
+	// states below.
+	index int
 }
+
+// Sentinel index values for events that are not in the overflow heap.
+const (
+	// indexFiring marks an event popped from the heap but not yet released.
+	indexFiring = -1
+	// indexPooled marks an event sitting on the free list.
+	indexPooled = -2
+	// indexBucketed marks an event stored in a calendar bucket.
+	indexBucketed = -3
+)
 
 // When reports the simulated time at which the event fires.
 func (e *Event) When() Time { return e.when }
 
+// eventLess is the engine's total order: (time, seq).
+func eventLess(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
@@ -46,8 +72,43 @@ func (h *eventHeap) Pop() any {
 	ev := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
-	ev.index = -1
+	ev.index = indexFiring
 	return ev
+}
+
+// Calendar-queue geometry: calBuckets buckets of 2^calShift picoseconds each
+// form a ring covering the near future (64 buckets x 1024 ps = ~65 ns, enough
+// for every per-cycle, per-hop, and DRAM-latency event of the modeled chips).
+// Events beyond the window go to the binary heap instead and are popped from
+// there; because simulated time only moves forward, a bucket slot never holds
+// events from two different laps of the ring (see the invariant note on
+// insert).
+const (
+	calShift      = 10
+	calBuckets    = 64
+	calBucketMask = calBuckets - 1
+)
+
+// calBucket holds the events of one bucket-width time slice, consumed from
+// head. The slice is kept unsorted on insert and lazily sorted by (time, seq)
+// the first time the bucket is drained; the backing array is reused once the
+// bucket empties.
+type calBucket struct {
+	events []*Event
+	head   int
+	sorted bool
+}
+
+func (b *calBucket) push(ev *Event) {
+	if b.head == len(b.events) {
+		b.events = b.events[:0]
+		b.head = 0
+		b.sorted = true
+	}
+	if n := len(b.events); b.sorted && n > b.head && eventLess(ev, b.events[n-1]) {
+		b.sorted = false
+	}
+	b.events = append(b.events, ev)
 }
 
 // Engine is a single-threaded discrete-event simulation engine.
@@ -56,14 +117,30 @@ func (h *eventHeap) Pop() any {
 // schedule closures on one shared Engine; the closures run in strict
 // (time, insertion-order) order, so a simulation with the same inputs always
 // produces bit-identical results.
+//
+// The queue is two-level: near-future events go into a bucketed calendar ring
+// (O(1) insert, cheap pop), far-future events into a binary heap. Both
+// structures drain in the same (time, seq) total order, so the split is
+// invisible to component models. Event objects are free-listed (see Event).
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	stopped bool
+	now      Time
+	seq      uint64
+	overflow eventHeap
+	stopped  bool
 
-	// pending counts non-canceled events still in the heap, so Pending() —
-	// called from hot monitoring paths — is O(1) instead of a heap scan.
+	// cal is the near-future bucket ring; calCount counts the entries that
+	// still sit in buckets (including canceled ones awaiting drain); calScan
+	// is a monotone lower bound on the smallest live bucket index, used to
+	// resume the bucket scan without rescanning known-empty slots.
+	cal      [calBuckets]calBucket
+	calCount int
+	calScan  int64
+
+	// free is the event free list; fresh events are allocated in chunks.
+	free []*Event
+
+	// pending counts non-canceled events still queued, so Pending() — called
+	// from hot monitoring paths — is O(1) instead of a queue scan.
 	pending int
 
 	// executed counts events that have run, for debugging and stats.
@@ -84,6 +161,55 @@ func (e *Engine) Pending() int { return e.pending }
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// eventChunk is how many Event objects one free-list refill allocates.
+const eventChunk = 64
+
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	chunk := make([]Event, eventChunk)
+	for i := range chunk {
+		chunk[i].index = indexPooled
+	}
+	for i := 1; i < len(chunk); i++ {
+		e.free = append(e.free, &chunk[i])
+	}
+	return &chunk[0]
+}
+
+// release returns a drained event to the free list.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.canceled = false
+	ev.index = indexPooled
+	e.free = append(e.free, ev)
+}
+
+// insert places a scheduled event into the calendar window or the overflow
+// heap. Invariant: every bucketed event's bucket index lies in
+// [now>>calShift, now>>calShift + calBuckets), so a ring slot never mixes
+// events from different laps — time only moves forward, and events further
+// out go to the heap.
+func (e *Engine) insert(ev *Event) {
+	b := int64(ev.when) >> calShift
+	if b-(int64(e.now)>>calShift) < calBuckets {
+		ev.index = indexBucketed
+		e.cal[b&calBucketMask].push(ev)
+		if e.calCount == 0 || b < e.calScan {
+			e.calScan = b
+		}
+		e.calCount++
+	} else {
+		heap.Push(&e.overflow, ev)
+	}
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in a component model, so it panics loudly rather than silently
 // reordering time.
@@ -91,9 +217,27 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.when, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.insert(ev)
+	e.pending++
+	return ev
+}
+
+// AtArg schedules fn(arg) to run at absolute time t. It is the
+// allocation-free variant of At for hot paths: fn is typically a callback
+// bound once at component construction and arg a pooled message, so
+// scheduling builds no closure. Pointer-shaped args do not escape to a fresh
+// allocation when stored in the event.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.alloc()
+	ev.when, ev.seq, ev.afn, ev.arg = t, e.seq, fn, arg
+	e.seq++
+	e.insert(ev)
 	e.pending++
 	return ev
 }
@@ -106,33 +250,148 @@ func (e *Engine) Schedule(delay Duration, fn func()) *Event {
 	return e.At(e.now.Add(delay), fn)
 }
 
+// ScheduleArg schedules fn(arg) after delay relative to the current time; it
+// is the allocation-free variant of Schedule (see AtArg).
+func (e *Engine) ScheduleArg(delay Duration, fn func(any), arg any) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.AtArg(e.now.Add(delay), fn, arg)
+}
+
 // Cancel removes a previously scheduled event. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op (but see Event: a handle kept after its
+// event fired may be reused by a later schedule, so long-lived holders must
+// drop handles when their callback runs).
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
+	if ev == nil || ev.canceled || ev.index == indexPooled || ev.index == indexFiring {
 		return
 	}
 	ev.canceled = true
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	e.pending--
+}
+
+// sortEvents orders a bucket tail by (time, seq) with an allocation-free
+// insertion sort; buckets hold at most a bucket-width of events, so they stay
+// small enough that insertion sort beats the reflective sort.Slice.
+func sortEvents(evs []*Event) {
+	for i := 1; i < len(evs); i++ {
+		ev := evs[i]
+		j := i - 1
+		for j >= 0 && eventLess(ev, evs[j]) {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = ev
+	}
+}
+
+// peekCal returns the earliest live bucketed event, draining canceled ones,
+// or nil when the calendar is empty. It leaves calScan at the returned
+// event's bucket index so popNext can remove it without rescanning.
+func (e *Engine) peekCal() *Event {
+	if e.calCount == 0 {
+		return nil
+	}
+	if nowB := int64(e.now) >> calShift; e.calScan < nowB {
+		e.calScan = nowB
+	}
+	for i := 0; i < calBuckets; i++ {
+		b := e.calScan + int64(i)
+		bk := &e.cal[b&calBucketMask]
+		for bk.head < len(bk.events) {
+			if !bk.sorted {
+				sortEvents(bk.events[bk.head:])
+				bk.sorted = true
+			}
+			ev := bk.events[bk.head]
+			if ev.canceled {
+				bk.events[bk.head] = nil
+				bk.head++
+				e.calCount--
+				e.release(ev)
+				continue
+			}
+			e.calScan = b
+			return ev
+		}
+		if e.calCount == 0 {
+			return nil
+		}
+	}
+	panic("sim: calendar count positive but no event within the window")
+}
+
+// peekOverflow returns the earliest live heap event, draining canceled ones,
+// or nil when the heap is empty.
+func (e *Engine) peekOverflow() *Event {
+	for len(e.overflow) > 0 {
+		ev := e.overflow[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.overflow)
+		e.release(ev)
+	}
+	return nil
+}
+
+// peek returns the next event in (time, seq) order without removing it, or
+// nil when the queue is empty.
+func (e *Engine) peek() *Event {
+	cev := e.peekCal()
+	hev := e.peekOverflow()
+	switch {
+	case cev == nil:
+		return hev
+	case hev == nil || eventLess(cev, hev):
+		return cev
+	default:
+		return hev
+	}
+}
+
+// popNext removes and returns the next event, or nil when the queue is empty.
+func (e *Engine) popNext() *Event {
+	ev := e.peek()
+	if ev == nil {
+		return nil
+	}
+	if ev.index == indexBucketed {
+		// peek left calScan at this event's bucket.
+		bk := &e.cal[e.calScan&calBucketMask]
+		bk.events[bk.head] = nil
+		bk.head++
+		e.calCount--
+		ev.index = indexFiring
+	} else {
+		heap.Pop(&e.overflow)
+	}
+	return ev
 }
 
 // Step runs the single next event. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.when
-		fn := ev.fn
-		ev.fn = nil
-		e.pending--
-		e.executed++
-		fn()
-		return true
+	ev := e.popNext()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.now = ev.when
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	// Recycle before dispatch so the callback's own scheduling reuses the
+	// object immediately; the handle contract (see Event) makes this safe.
+	e.release(ev)
+	e.pending--
+	e.executed++
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -142,28 +401,26 @@ func (e *Engine) Run() {
 	}
 }
 
-// RunUntil executes events with times <= deadline. Events scheduled beyond the
-// deadline remain queued. It returns the number of events executed.
+// RunUntil executes events with times <= deadline. Events scheduled beyond
+// the deadline remain queued. It returns the number of events executed.
+//
+// When the loop drains normally (queue empty or next event past the
+// deadline), simulated time fast-forwards to the deadline. When Stop ends the
+// run early, time stays where the last event left it: events at or before the
+// deadline may still be queued, and jumping past them would make a later
+// Step move simulated time backwards.
 func (e *Engine) RunUntil(deadline Time) int {
 	e.stopped = false
 	n := 0
 	for !e.stopped {
-		if len(e.events) == 0 {
-			break
-		}
-		// Peek.
-		next := e.events[0]
-		if next.canceled {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.when > deadline {
+		next := e.peek()
+		if next == nil || next.when > deadline {
 			break
 		}
 		e.Step()
 		n++
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 	return n

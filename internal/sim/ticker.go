@@ -10,12 +10,28 @@ type Ticker struct {
 	fn     func(now Time)
 	armed  bool
 	ev     *Event
+	// tick is the edge callback bound once at construction, so arming and
+	// periodic rescheduling never allocate a closure (see Engine.AtArg).
+	tick func(any)
 }
 
 // NewTicker creates a paused ticker on the given clock. fn runs once per
 // clock edge while the ticker is armed.
 func NewTicker(engine *Engine, clock Clock, fn func(now Time)) *Ticker {
-	return &Ticker{engine: engine, clock: clock, fn: fn}
+	t := &Ticker{engine: engine, clock: clock, fn: fn}
+	t.tick = func(any) {
+		// The event is firing: drop the handle so Pause never cancels a
+		// recycled event object (events are pooled, see sim.Event).
+		t.ev = nil
+		if !t.armed {
+			return
+		}
+		t.fn(t.engine.Now())
+		if t.armed {
+			t.scheduleNext(t.engine.Now().Add(t.clock.Period))
+		}
+	}
+	return t
 }
 
 // Arm starts (or restarts) periodic callbacks beginning at the next clock
@@ -41,13 +57,5 @@ func (t *Ticker) Pause() {
 func (t *Ticker) Armed() bool { return t.armed }
 
 func (t *Ticker) scheduleNext(at Time) {
-	t.ev = t.engine.At(at, func() {
-		if !t.armed {
-			return
-		}
-		t.fn(t.engine.Now())
-		if t.armed {
-			t.scheduleNext(t.engine.Now().Add(t.clock.Period))
-		}
-	})
+	t.ev = t.engine.AtArg(at, t.tick, nil)
 }

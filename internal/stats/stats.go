@@ -33,6 +33,10 @@ type Gauge struct {
 	name  string
 	value int64
 	max   int64
+	// set records that the gauge was ever assigned: the max is tracked only
+	// from the first Set/Add, so a gauge that only ever goes negative
+	// reports its true (negative) max instead of a spurious zero.
+	set bool
 }
 
 // Name reports the gauge's registered name.
@@ -41,14 +45,16 @@ func (g *Gauge) Name() string { return g.name }
 // Value reports the current value.
 func (g *Gauge) Value() int64 { return g.value }
 
-// Max reports the largest value observed.
+// Max reports the largest value observed since the first Set/Add, or zero
+// for a gauge that was never assigned.
 func (g *Gauge) Max() int64 { return g.max }
 
 // Set assigns the gauge.
 func (g *Gauge) Set(v int64) {
 	g.value = v
-	if v > g.max {
+	if !g.set || v > g.max {
 		g.max = v
+		g.set = true
 	}
 }
 
@@ -160,6 +166,7 @@ func (r *Registry) Reset() {
 	for _, g := range r.gauges {
 		g.value = 0
 		g.max = 0
+		g.set = false
 	}
 }
 

@@ -28,6 +28,35 @@ func TestCounterAndGauge(t *testing.T) {
 	}
 }
 
+// TestGaugeNegativeOnlyMax is the regression test for the implicit-zero max:
+// a gauge that only ever holds negative values must report its true
+// (negative) maximum, not a spurious 0 it never reached.
+func TestGaugeNegativeOnlyMax(t *testing.T) {
+	r := NewRegistry("test")
+	g := r.Gauge("depth")
+	g.Set(-7)
+	g.Add(-3)
+	if g.Max() != -7 {
+		t.Fatalf("negative-only gauge max = %d, want -7", g.Max())
+	}
+	if g.Value() != -10 {
+		t.Fatalf("negative-only gauge value = %d, want -10", g.Value())
+	}
+
+	// An untouched gauge still reports zero.
+	if got := r.Gauge("untouched").Max(); got != 0 {
+		t.Fatalf("untouched gauge max = %d, want 0", got)
+	}
+
+	// Reset restores the never-assigned state, so the max re-latches from
+	// the first post-reset assignment.
+	r.Reset()
+	g.Set(-2)
+	if g.Max() != -2 {
+		t.Fatalf("post-reset negative gauge max = %d, want -2", g.Max())
+	}
+}
+
 func TestRegistryLookupSumSnapshotReset(t *testing.T) {
 	r := NewRegistry("chip")
 	r.Counter("l1.0.hits").Add(10)

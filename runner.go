@@ -22,8 +22,10 @@ type RunSpec struct {
 }
 
 // String formats the spec as "workload/system(n=.. ...)", including every
-// parameter that distinguishes sweep rows so error messages identify the
-// exact failing run.
+// parameter that distinguishes sweep rows — problem size and seed, the
+// optional density and init flags, and the Tag carrying preset/override
+// identity — so error messages from Runner.Run identify the exact failing
+// run even when two rows differ only by machine variant.
 func (s RunSpec) String() string {
 	out := fmt.Sprintf("%s/%s(n=%d seed=%d", s.Workload, s.System.Kind, s.Params.N, s.Params.Seed)
 	if s.Params.Density != 0 {
@@ -31,6 +33,9 @@ func (s RunSpec) String() string {
 	}
 	if s.Params.IncludeInit {
 		out += " +init"
+	}
+	if s.Tag != "" {
+		out += fmt.Sprintf(" tag=%q", s.Tag)
 	}
 	return out + ")"
 }

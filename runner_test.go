@@ -1,0 +1,163 @@
+package ccsvm_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccsvm"
+)
+
+// TestRunSpecStringIncludesTag is the regression test for indistinguishable
+// sweep rows: two specs that differ only by Tag (the preset/override
+// identity) must stringify differently so Runner.Run error messages identify
+// the exact failing run.
+func TestRunSpecStringIncludesTag(t *testing.T) {
+	base := ccsvm.RunSpec{Workload: "matmul", System: smallSystem(t, ccsvm.SystemCCSVM), Params: ccsvm.Params{N: 16, Seed: 1}}
+	wide := base
+	wide.Tag = "ccsvm-wide"
+	if base.String() == wide.String() {
+		t.Fatalf("specs differing only by Tag stringify identically: %s", base)
+	}
+	if !strings.Contains(wide.String(), "ccsvm-wide") {
+		t.Fatalf("String() = %q, want the tag in it", wide.String())
+	}
+	if strings.Contains(base.String(), "tag=") {
+		t.Fatalf("untagged String() = %q, should omit the tag field", base.String())
+	}
+}
+
+// failingSink errors on chosen Emit indices and optionally on Close, to
+// exercise the Runner's error joining.
+type failingSink struct {
+	failEmitAt int // Emit index to fail at; -1 disables
+	failClose  bool
+	emits      int
+	closed     bool
+}
+
+func (s *failingSink) Emit(ccsvm.RunResult) error {
+	i := s.emits
+	s.emits++
+	if i == s.failEmitAt {
+		return fmt.Errorf("emit %d exploded", i)
+	}
+	return nil
+}
+
+func (s *failingSink) Close() error {
+	s.closed = true
+	if s.failClose {
+		return errors.New("close exploded")
+	}
+	return nil
+}
+
+// TestRunnerJoinsSinkAndRunErrors checks every failure path of Runner.Run at
+// once: a failing run, a failing sink Emit, and a failing sink Close must all
+// surface in the joined error, while healthy sinks still see every result.
+func TestRunnerJoinsSinkAndRunErrors(t *testing.T) {
+	specs := []ccsvm.RunSpec{
+		{Workload: "vectoradd", System: smallSystem(t, ccsvm.SystemCCSVM), Params: tinyParams("vectoradd")},
+		{Workload: "no-such-workload", System: smallSystem(t, ccsvm.SystemCPU), Params: ccsvm.Params{N: 4}, Tag: "bad-row"},
+		{Workload: "sparse", System: smallSystem(t, ccsvm.SystemCCSVM), Params: tinyParams("sparse")},
+	}
+	bad := &failingSink{failEmitAt: 0, failClose: true}
+	good := &failingSink{failEmitAt: -1}
+	runner := &ccsvm.Runner{Parallel: 2, Sinks: []ccsvm.Sink{bad, good}}
+	res, err := runner.Run(specs)
+	if err == nil {
+		t.Fatal("Run returned nil error despite run, emit, and close failures")
+	}
+	for _, want := range []string{"no-such-workload", "bad-row", "emit 0 exploded", "close exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %q", err, want)
+		}
+	}
+	// A sink error must not derail the stream: both sinks see all results,
+	// in order, and are closed.
+	if bad.emits != len(specs) || good.emits != len(specs) {
+		t.Errorf("sinks saw %d/%d emits, want %d each", bad.emits, good.emits, len(specs))
+	}
+	if !bad.closed || !good.closed {
+		t.Error("sinks not closed after the sweep")
+	}
+	// The results slice stays complete, with the failure attached in place.
+	if len(res) != len(specs) || res[1].Err == nil || res[0].Err != nil || res[2].Err != nil {
+		t.Errorf("unexpected result errors: %+v", res)
+	}
+}
+
+// TestRunnerCloseErrorWithoutRunErrors checks that a Close failure alone
+// surfaces even when every run succeeds.
+func TestRunnerCloseErrorWithoutRunErrors(t *testing.T) {
+	sink := &failingSink{failEmitAt: -1, failClose: true}
+	runner := &ccsvm.Runner{Sinks: []ccsvm.Sink{sink}}
+	if _, err := runner.Run([]ccsvm.RunSpec{
+		{Workload: "vectoradd", System: smallSystem(t, ccsvm.SystemCCSVM), Params: tinyParams("vectoradd")},
+	}); err == nil || !strings.Contains(err.Error(), "close exploded") {
+		t.Fatalf("err = %v, want the sink close failure", err)
+	}
+}
+
+// TestRunnerOrderedStreamingWithFailures requires sink output to stay
+// byte-identical between Parallel=1 and Parallel=4 when some runs fail:
+// failed rows stream in spec order like any other row.
+func TestRunnerOrderedStreamingWithFailures(t *testing.T) {
+	var specs []ccsvm.RunSpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs,
+			ccsvm.RunSpec{Workload: "vectoradd", System: smallSystem(t, ccsvm.SystemCCSVM), Params: tinyParams("vectoradd"), Tag: fmt.Sprintf("row%d", i)},
+			ccsvm.RunSpec{Workload: "no-such-workload", System: smallSystem(t, ccsvm.SystemCPU), Params: ccsvm.Params{N: 4}, Tag: fmt.Sprintf("fail%d", i)},
+		)
+	}
+	run := func(parallel int) (string, string) {
+		var jsonl bytes.Buffer
+		runner := &ccsvm.Runner{Parallel: parallel, Sinks: []ccsvm.Sink{ccsvm.NewJSONLSink(&jsonl)}}
+		_, err := runner.Run(specs)
+		if err == nil {
+			t.Fatal("expected a joined error from the failing rows")
+		}
+		return jsonl.String(), err.Error()
+	}
+	seqOut, seqErr := run(1)
+	parOut, parErr := run(4)
+	if seqOut != parOut {
+		t.Errorf("JSONL output differs between parallel=1 and parallel=4:\n--- seq\n%s\n--- par\n%s", seqOut, parOut)
+	}
+	if seqErr != parErr {
+		t.Errorf("joined error differs between parallel=1 and parallel=4:\nseq: %s\npar: %s", seqErr, parErr)
+	}
+}
+
+// TestResultsBitIdenticalAcrossRuns is the pooling determinism regression
+// test: event and message recycling must not perturb simulated timing or
+// metrics, so re-running any (workload, system) pair yields a bit-identical
+// Result — including the full per-run metrics map.
+func TestResultsBitIdenticalAcrossRuns(t *testing.T) {
+	for _, w := range ccsvm.Workloads() {
+		for _, kind := range w.SystemKinds() {
+			t.Run(w.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				p := tinyParams(w.Name)
+				a, err := w.Run(smallSystem(t, kind), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := w.Run(smallSystem(t, kind), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("repeated run not bit-identical:\nfirst:  %+v\nsecond: %+v", a, b)
+				}
+				if len(a.Metrics) == 0 {
+					t.Fatal("result carries no metrics; the comparison proved nothing")
+				}
+			})
+		}
+	}
+}
