@@ -99,6 +99,10 @@ type DirectoryBank struct {
 	pool      msgPool
 	processFn func(any)
 
+	// skipInvs is the fault-injection budget armed by
+	// InjectSkipInvalidations; zero in normal operation.
+	skipInvs int
+
 	requests   *stats.Counter
 	l2Hits     *stats.Counter
 	l2Misses   *stats.Counter
@@ -141,6 +145,24 @@ func (b *DirectoryBank) Entry(addr mem.LineAddr) (DirState, noc.NodeID, []noc.No
 		return DirInvalid, 0, nil
 	}
 	return e.state, e.owner, e.sharerList(-1)
+}
+
+// InjectSkipInvalidations arms a deliberate protocol bug for the memtest
+// subsystem's self-check: each of the next n invalidation rounds triggered by
+// a GetM silently drops one sharer — the directory grants write permission
+// without invalidating (or counting an ack from) that sharer, leaving it with
+// a stale Shared copy. The SWMR checker and the quiesce-time directory/L1
+// cross-check must both catch the violation; the stress tests prove they do.
+func (b *DirectoryBank) InjectSkipInvalidations(n int) { b.skipInvs = n }
+
+// maybeDropSharer applies the armed fault injection to one invalidation
+// round's sharer list.
+func (b *DirectoryBank) maybeDropSharer(sharers []noc.NodeID) []noc.NodeID {
+	if b.skipInvs > 0 && len(sharers) > 0 {
+		b.skipInvs--
+		return sharers[:len(sharers)-1]
+	}
+	return sharers
 }
 
 // Busy reports whether any entry is mid-transaction (tests use this to
@@ -248,7 +270,7 @@ func (b *DirectoryBank) handleGetM(e *dirEntry, m *Msg) {
 			e.owner = req
 		})
 	case DirShared:
-		others := e.sharerList(req)
+		others := b.maybeDropSharer(e.sharerList(req))
 		_, wasSharer := e.sharers[req]
 		for _, s := range others {
 			b.invsSent.Inc()
@@ -281,7 +303,7 @@ func (b *DirectoryBank) handleGetM(e *dirEntry, m *Msg) {
 		b.forwards.Inc()
 		send(b.net, b.id, e.owner, b.pool.get(MsgFwdGetM, addr, req))
 	case DirOwned:
-		others := e.sharerList(req)
+		others := b.maybeDropSharer(e.sharerList(req))
 		for _, s := range others {
 			b.invsSent.Inc()
 			send(b.net, b.id, s, b.pool.get(MsgInv, addr, req))

@@ -105,6 +105,10 @@ type Msg struct {
 	// Dirty reports, on MsgFwdDone and Put messages, whether the line carried
 	// is newer than the L2/memory copy.
 	Dirty bool
+	// pooled marks a message currently sitting on a free list; put uses it to
+	// detect double releases (the flag travels with the object even when it
+	// migrates between controllers' pools).
+	pooled bool
 }
 
 // carriesData reports whether the message includes a full cache line.
@@ -138,11 +142,47 @@ func (m *Msg) sizeBytes() int {
 // handler returns (DRAM-fill continuations) must copy the fields it needs
 // rather than capture the message.
 type msgPool struct {
-	free []*Msg
+	free  []*Msg
+	stats PoolStats
+}
+
+// PoolStats is one controller's message-pool accounting: Gets counts
+// allocations from the pool, Puts releases into it, and DoubleReleases
+// releases of a message already sitting on a free list. Messages migrate
+// between pools (a requestor allocates, the receiver releases), so the
+// numbers are only meaningful summed across a whole system: see SumPoolStats.
+type PoolStats struct {
+	Gets, Puts, DoubleReleases uint64
+}
+
+// InFlight reports allocated-minus-released. For a single controller it can
+// be negative (it released messages others allocated); summed across a
+// system at quiesce it must be zero, or a handler leaked a message.
+func (s PoolStats) InFlight() int64 { return int64(s.Gets) - int64(s.Puts) }
+
+// add accumulates another controller's stats.
+func (s PoolStats) add(o PoolStats) PoolStats {
+	return PoolStats{s.Gets + o.Gets, s.Puts + o.Puts, s.DoubleReleases + o.DoubleReleases}
+}
+
+// SumPoolStats aggregates message-pool accounting across the controllers of
+// one memory system. At quiesce the sum must satisfy InFlight() == 0 and
+// DoubleReleases == 0; the memtest subsystem and the coherence tests assert
+// both.
+func SumPoolStats(l1s []*L1Controller, banks []*DirectoryBank) PoolStats {
+	var total PoolStats
+	for _, c := range l1s {
+		total = total.add(c.pool.stats)
+	}
+	for _, b := range banks {
+		total = total.add(b.pool.stats)
+	}
+	return total
 }
 
 // get returns a message with the given header fields and all others zeroed.
 func (p *msgPool) get(t MsgType, addr mem.LineAddr, req noc.NodeID) *Msg {
+	p.stats.Gets++
 	var m *Msg
 	if n := len(p.free); n > 0 {
 		m = p.free[n-1]
@@ -155,11 +195,21 @@ func (p *msgPool) get(t MsgType, addr mem.LineAddr, req noc.NodeID) *Msg {
 	m.AckCount = 0
 	m.OwnerKept = cache.Invalid
 	m.Dirty = false
+	m.pooled = false
 	return m
 }
 
-// put releases a fully-handled message back to the free list.
+// put releases a fully-handled message back to the free list. Releasing a
+// message that is already pooled is recorded (and the message left alone)
+// rather than corrupting the free list; the accounting checks fail loudly on
+// any such release.
 func (p *msgPool) put(m *Msg) {
+	if m.pooled {
+		p.stats.DoubleReleases++
+		return
+	}
+	m.pooled = true
+	p.stats.Puts++
 	p.free = append(p.free, m)
 }
 

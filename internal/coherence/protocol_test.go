@@ -68,6 +68,19 @@ func newTestSystem(t testing.TB, numL1, numBanks int) *testSystem {
 		}
 		s.banks = append(s.banks, NewDirectoryBank(engine, bankIDs[i], torus, cfg, memory, reg))
 	}
+	// Every pooled protocol message allocated during the test must have been
+	// released by the time it ends: a message parked in a queue (a directory's
+	// pending request, an L1's deferred forward) and never released is a leak,
+	// and a double release corrupts the free list. Both fail the test loudly.
+	t.Cleanup(func() {
+		ps := SumPoolStats(s.l1s, s.banks)
+		if ps.DoubleReleases != 0 {
+			t.Errorf("%d double-released protocol messages", ps.DoubleReleases)
+		}
+		if n := ps.InFlight(); n != 0 {
+			t.Errorf("%d protocol messages leaked (allocated %d, released %d)", n, ps.Gets, ps.Puts)
+		}
+	})
 	return s
 }
 

@@ -220,6 +220,15 @@ func (m *Machine) RunProgram(main xthreads.MainFunc) (sim.Duration, error) {
 	return m.Engine.Now().Sub(start), nil
 }
 
+// L1Controllers exposes the chip's private L1 coherence controllers in node
+// order (CPU cores first, then MTTOP cores). The memtest subsystem samples
+// their cache states and pool accounting at quiesce points.
+func (m *Machine) L1Controllers() []*coherence.L1Controller { return m.l1s }
+
+// DirectoryBanks exposes the L2/directory banks in bank order, for the same
+// verification uses as L1Controllers.
+func (m *Machine) DirectoryBanks() []*coherence.DirectoryBank { return m.banks }
+
 // Shutdown tears down any software threads that are still running (used by
 // tests and by callers that abandon a machine mid-run).
 func (m *Machine) Shutdown() {

@@ -59,6 +59,10 @@ type Core struct {
 	runQueue   []*exec.Thread
 	interrupts []Interrupt
 	busy       bool
+	// nextOp buffers the current thread's next operation, fetched before
+	// interrupts are serviced (see step for why the order matters).
+	nextOp     exec.Op
+	haveNextOp bool
 	// onExit callbacks fire when a thread finishes, keyed per thread start.
 	onExit map[*exec.Thread]func()
 
@@ -145,7 +149,10 @@ func (c *Core) Run(t *exec.Thread, onExit func()) {
 }
 
 // RaiseInterrupt queues external work (such as an MTTOP page fault forwarded
-// by the MIFD) to run on this core between instructions.
+// by the MIFD) to run on this core between instructions. It must be called
+// from engine context (an event callback), never from workload code: a
+// workload goroutine calling it would re-enter step and deadlock against the
+// engine's own blocked Thread.Next (see step's serialization comment).
 func (c *Core) RaiseInterrupt(i Interrupt) {
 	c.interrupts = append(c.interrupts, i)
 	c.step()
@@ -158,36 +165,52 @@ func (c *Core) Idle() bool {
 
 // step advances the core: service one interrupt or execute the current
 // thread's next operation. It is a no-op while an operation is in flight.
+//
+// The current thread's next operation is fetched (Thread.Next) before
+// pending interrupts are considered. Next blocks until the workload goroutine
+// has either produced its next operation or returned, so the Go code a
+// workload runs between simulated operations is fully serialized with the
+// engine — interrupt service (and every other core's activity behind it)
+// cannot race it. Simulated timing is unchanged: the buffered operation still
+// executes only after pending interrupts are drained.
 func (c *Core) step() {
-	if c.busy {
-		return
-	}
-	if len(c.interrupts) > 0 {
-		intr := c.interrupts[0]
-		c.interrupts = c.interrupts[1:]
-		c.intsTaken.Inc()
-		c.busy = true
-		intr.Service(func() {
-			c.busy = false
-			c.step()
-		})
-		return
-	}
-	if c.current == nil {
-		if len(c.runQueue) == 0 {
+	for {
+		if c.busy {
 			return
 		}
-		c.current = c.runQueue[0]
-		c.runQueue = c.runQueue[1:]
-		c.lastStart = c.engine.Now()
-	}
-	op, ok := c.current.Next()
-	if !ok {
-		c.finishThread()
+		if c.current != nil && !c.haveNextOp {
+			op, ok := c.current.Next()
+			if !ok {
+				c.finishThread()
+				continue
+			}
+			c.nextOp, c.haveNextOp = op, true
+		}
+		if len(c.interrupts) > 0 {
+			intr := c.interrupts[0]
+			c.interrupts = c.interrupts[1:]
+			c.intsTaken.Inc()
+			c.busy = true
+			intr.Service(func() {
+				c.busy = false
+				c.step()
+			})
+			return
+		}
+		if c.current == nil {
+			if len(c.runQueue) == 0 {
+				return
+			}
+			c.current = c.runQueue[0]
+			c.runQueue = c.runQueue[1:]
+			c.lastStart = c.engine.Now()
+			continue
+		}
+		c.haveNextOp = false
+		c.busy = true
+		c.execute(c.nextOp)
 		return
 	}
-	c.busy = true
-	c.execute(op)
 }
 
 func (c *Core) finishThread() {
@@ -201,7 +224,6 @@ func (c *Core) finishThread() {
 		delete(c.onExit, t)
 		fn()
 	}
-	c.step()
 }
 
 // computeDuration converts an instruction count into time on this core.

@@ -1,0 +1,276 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"ccsvm/internal/cpu"
+	"ccsvm/internal/exec"
+	"ccsvm/internal/kernelos"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/sim"
+	"ccsvm/internal/stats"
+	"ccsvm/internal/vm"
+)
+
+// latencyPort is a flat-latency memory port: every access completes after a
+// fixed delay with no coherence. It isolates the core model from the cache
+// hierarchy.
+type latencyPort struct {
+	engine   *sim.Engine
+	latency  sim.Duration
+	accesses int
+}
+
+func (p *latencyPort) Access(req mem.Request, done func()) {
+	p.accesses++
+	p.engine.Schedule(p.latency, done)
+}
+
+// coreRig is a CPU core wired to a kernel, a process and an MMU, like the
+// CCSVM machine builds it, but behind a flat-latency port.
+type coreRig struct {
+	engine *sim.Engine
+	core   *cpu.Core
+	kernel *kernelos.Kernel
+	proc   *kernelos.Process
+	phys   *mem.Physical
+	port   *latencyPort
+	reg    *stats.Registry
+}
+
+func newCoreRig(t *testing.T) *coreRig {
+	t.Helper()
+	engine := sim.NewEngine()
+	reg := stats.NewRegistry("test")
+	phys := mem.NewPhysical(16 << 20)
+	kernel := kernelos.NewKernel(phys, 16, kernelos.DefaultCosts(), reg)
+	proc := kernel.NewProcess()
+	port := &latencyPort{engine: engine, latency: 2 * sim.Nanosecond}
+	mmu := vm.NewMMU(vm.TLBConfig{Entries: 8, Name: "test.tlb"}, port, phys, reg)
+	core := cpu.New(engine, cpu.Config{
+		Clock: sim.NewClock("cpu", 2.9e9),
+		CPI:   2.0,
+		Name:  "cpu0",
+	}, port, mmu, phys, kernel, reg)
+	mmu.SetRoot(proc.Root())
+	return &coreRig{engine: engine, core: core, kernel: kernel, proc: proc, phys: phys, port: port, reg: reg}
+}
+
+func (r *coreRig) run(t *testing.T, fn func(c *exec.Context)) {
+	t.Helper()
+	done := false
+	th := exec.NewThread(0, "t0", fn)
+	r.core.Run(th, func() { done = true })
+	r.engine.Run()
+	if !done {
+		t.Fatal("thread did not finish")
+	}
+}
+
+// TestCoreFaultAndSyscallPaths is the table-driven coverage of the rare
+// paths PR 3's allocation-elimination rewrite left untested: demand-paging
+// faults (the translate-fault-service-retry loop), syscall dispatch with a
+// simulated-time handler, and mixes of both with ordinary ops.
+func TestCoreFaultAndSyscallPaths(t *testing.T) {
+	const sysEcho = 7
+	cases := []struct {
+		name       string
+		program    func(t *testing.T, r *coreRig, c *exec.Context)
+		wantFaults uint64
+		wantSysc   bool
+	}{
+		{
+			name: "load faults once then hits",
+			program: func(t *testing.T, r *coreRig, c *exec.Context) {
+				va := r.proc.Sbrk(mem.PageSize)
+				if got := c.Load64(va); got != 0 {
+					t.Errorf("fresh page read %#x, want 0", got)
+				}
+				if got := c.Load64(va + 8); got != 0 {
+					t.Errorf("second read on the mapped page = %#x, want 0", got)
+				}
+			},
+			wantFaults: 1,
+		},
+		{
+			name: "store fault then read back",
+			program: func(t *testing.T, r *coreRig, c *exec.Context) {
+				va := r.proc.Sbrk(mem.PageSize)
+				c.Store64(va, 0xdead)
+				if got := c.Load64(va); got != 0xdead {
+					t.Errorf("read back %#x, want 0xdead", got)
+				}
+			},
+			wantFaults: 1,
+		},
+		{
+			name: "rmw faults and chains",
+			program: func(t *testing.T, r *coreRig, c *exec.Context) {
+				va := r.proc.Sbrk(mem.PageSize)
+				if old := c.AtomicAdd64(va, 5); old != 0 {
+					t.Errorf("first fetch-add returned %#x, want 0", old)
+				}
+				if old := c.AtomicAdd64(va, 1); old != 5 {
+					t.Errorf("second fetch-add returned %#x, want 5", old)
+				}
+			},
+			wantFaults: 1,
+		},
+		{
+			name: "faults on distinct pages",
+			program: func(t *testing.T, r *coreRig, c *exec.Context) {
+				va := r.proc.Sbrk(3 * mem.PageSize)
+				c.Store8(va, 1)
+				c.Store8(va+mem.PageSize, 2)
+				c.Store8(va+2*mem.PageSize, 3)
+			},
+			wantFaults: 3,
+		},
+		{
+			name: "syscall returns value after simulated time",
+			program: func(t *testing.T, r *coreRig, c *exec.Context) {
+				if ret := c.Syscall(sysEcho, 41); ret != 42 {
+					t.Errorf("syscall returned %d, want 42", ret)
+				}
+			},
+			wantSysc: true,
+		},
+		{
+			name: "syscall between faulting accesses",
+			program: func(t *testing.T, r *coreRig, c *exec.Context) {
+				va := r.proc.Sbrk(mem.PageSize)
+				c.Store32(va, 9)
+				if ret := c.Syscall(sysEcho, uint64(c.Load32(va))); ret != 10 {
+					t.Errorf("syscall returned %d, want 10", ret)
+				}
+				c.Compute(100)
+			},
+			wantFaults: 1,
+			wantSysc:   true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := newCoreRig(t)
+			sysCalls := 0
+			r.core.SetSyscallHandler(func(core *cpu.Core, num int, args []uint64, done func(uint64)) {
+				if num != sysEcho {
+					t.Errorf("syscall number %d, want %d", num, sysEcho)
+				}
+				sysCalls++
+				// Service over simulated time, like the MIFD driver does.
+				r.engine.Schedule(10*sim.Nanosecond, func() { done(args[0] + 1) })
+			})
+			r.run(t, func(c *exec.Context) { tc.program(t, r, c) })
+			if got, _ := r.reg.Lookup("cpu0.page_faults"); got != tc.wantFaults {
+				t.Errorf("page faults = %d, want %d", got, tc.wantFaults)
+			}
+			if tc.wantSysc != (sysCalls > 0) {
+				t.Errorf("syscalls taken = %d, want taken=%v", sysCalls, tc.wantSysc)
+			}
+			if r.engine.Pending() != 0 {
+				t.Errorf("%d events still pending after run", r.engine.Pending())
+			}
+		})
+	}
+}
+
+// TestCoreSyscallWithoutHandlerPanics pins the loud failure mode.
+func TestCoreSyscallWithoutHandlerPanics(t *testing.T) {
+	r := newCoreRig(t)
+	// Core.Run steps synchronously, so the panic can fire before engine.Run.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("syscall without a handler did not panic")
+		}
+	}()
+	th := exec.NewThread(0, "t0", func(c *exec.Context) { c.Syscall(1) })
+	r.core.Run(th, nil)
+	r.engine.Run()
+}
+
+// TestCoreInterruptBetweenInstructions checks that externally raised work
+// (the MIFD path) runs between a thread's operations, is counted, and does
+// not corrupt the in-flight op state of the interrupted thread. The
+// interrupt is raised from engine context (a scheduled event), as the MIFD
+// does — RaiseInterrupt must not be called from workload code.
+func TestCoreInterruptBetweenInstructions(t *testing.T) {
+	r := newCoreRig(t)
+	serviced := false
+	va := r.proc.Sbrk(mem.PageSize)
+	// Lands mid-thread: the core is busy with an op, defers the interrupt,
+	// and services it before issuing the next one.
+	r.engine.Schedule(5*sim.Nanosecond, func() {
+		r.core.RaiseInterrupt(cpu.Interrupt{
+			Name: "test",
+			Service: func(done func()) {
+				serviced = true
+				r.engine.Schedule(5*sim.Nanosecond, done)
+			},
+		})
+	})
+	r.run(t, func(c *exec.Context) {
+		c.Store64(va, 1)
+		c.Compute(1000) // ~690 ns: plenty of ops in flight after 5 ns
+		// The interrupt must not disturb the value path of nearby ops.
+		if got := c.AtomicAdd64(va, 2); got != 1 {
+			t.Errorf("fetch-add around the interrupt returned %#x, want 1", got)
+		}
+	})
+	if !serviced {
+		t.Fatal("interrupt was not serviced")
+	}
+	if got, _ := r.reg.Lookup("cpu0.interrupts"); got != 1 {
+		t.Fatalf("interrupt counter = %d, want 1", got)
+	}
+}
+
+// TestCoreQueuesThreads checks run-queue scheduling: two threads on one core
+// both complete, in order, with onExit called for each.
+func TestCoreQueuesThreads(t *testing.T) {
+	r := newCoreRig(t)
+	va := r.proc.Sbrk(mem.PageSize)
+	var exits []int
+	t1 := exec.NewThread(1, "t1", func(c *exec.Context) { c.Store64(va, 10) })
+	t2 := exec.NewThread(2, "t2", func(c *exec.Context) {
+		if got := c.Load64(va); got != 10 {
+			t.Errorf("queued thread read %#x, want 10 (runs after t1)", got)
+		}
+	})
+	r.core.Run(t1, func() { exits = append(exits, 1) })
+	r.core.Run(t2, func() { exits = append(exits, 2) })
+	r.engine.Run()
+	if len(exits) != 2 || exits[0] != 1 || exits[1] != 2 {
+		t.Fatalf("exit order %v, want [1 2]", exits)
+	}
+	if !r.core.Idle() {
+		t.Fatal("core not idle after both threads finished")
+	}
+}
+
+// TestCoreInstructionAccounting checks the instrs/mem_ops counters and the
+// CPI-scaled compute timing.
+func TestCoreInstructionAccounting(t *testing.T) {
+	r := newCoreRig(t)
+	va := r.proc.Sbrk(mem.PageSize)
+	r.run(t, func(c *exec.Context) {
+		c.Compute(100)
+		c.Store64(va, 1)
+		c.Load64(va)
+	})
+	if got, _ := r.reg.Lookup("cpu0.instructions"); got != 102 {
+		t.Fatalf("instructions = %d, want 102", got)
+	}
+	if got, _ := r.reg.Lookup("cpu0.mem_ops"); got != 2 {
+		t.Fatalf("mem_ops = %d, want 2", got)
+	}
+	if got := r.core.Instructions(); got != 102 {
+		t.Fatalf("Instructions() = %d, want 102", got)
+	}
+	// 100 instructions at CPI 2.0 on a 2.9 GHz clock is ~69 ns of compute
+	// alone; the run must have consumed at least that much simulated time.
+	if r.engine.Now() < sim.Time(68*sim.Nanosecond) {
+		t.Fatalf("run consumed %v, want >= ~69 ns of compute time", r.engine.Now())
+	}
+}

@@ -219,3 +219,26 @@ func TestOpKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestThreadKillBeforeLaunch(t *testing.T) {
+	ran := false
+	th := NewThread(0, "parked", func(ctx *Context) {
+		ran = true
+		ctx.Compute(10)
+	})
+	// Started but never stepped: the workload goroutine launches lazily on
+	// the first Next, so Kill must tear the thread down without one.
+	th.Start()
+	th.Kill()
+	if !th.Finished() {
+		t.Fatal("killed unlaunched thread not finished")
+	}
+	// A later Next (a core pulling the thread from its run queue after a
+	// machine shutdown) must not resurrect the workload.
+	if _, ok := th.Next(); ok {
+		t.Fatal("Next on a killed thread returned an op")
+	}
+	if ran {
+		t.Fatal("killed thread's workload function ran")
+	}
+}

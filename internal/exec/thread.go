@@ -80,6 +80,7 @@ type Thread struct {
 	results  chan Result
 	killed   chan struct{}
 	started  bool
+	launched bool
 	finished bool
 	err      any
 }
@@ -103,13 +104,23 @@ func (t *Thread) ID() int { return t.id }
 // Name reports the thread's debug name.
 func (t *Thread) Name() string { return t.name }
 
-// Start launches the workload goroutine. It must be called exactly once,
-// before the first Next.
+// Start marks the thread runnable. It must be called exactly once, before
+// the first Next. The workload goroutine itself launches lazily on the first
+// Next: this way the Go code a thread runs before its first operation is
+// serialized with the engine exactly like the code between operations (the
+// caller of Next blocks until the op arrives), instead of racing whatever
+// else runs between Start and the first Next — e.g. the gap code of other
+// threads while this one sits in a core's run queue.
 func (t *Thread) Start() {
 	if t.started {
 		panic("exec: thread started twice")
 	}
 	t.started = true
+}
+
+// launch spawns the workload goroutine (on the first Next after Start).
+func (t *Thread) launch() {
+	t.launched = true
 	ctx := &Context{thread: t}
 	go func() {
 		defer func() {
@@ -128,6 +139,17 @@ func (t *Thread) Start() {
 // It returns ok=false when the thread function has returned (or was killed),
 // after which the thread is finished.
 func (t *Thread) Next() (Op, bool) {
+	if t.finished {
+		// Killed before its lazy launch (or already drained): don't resurrect
+		// the workload by launching it now.
+		return Op{}, false
+	}
+	if !t.launched {
+		if !t.started {
+			panic("exec: Next before Start")
+		}
+		t.launch()
+	}
 	op, ok := <-t.ops
 	if !ok {
 		t.finished = true
@@ -146,6 +168,15 @@ func (t *Thread) Complete(r Result) {
 // finished threads.
 func (t *Thread) Kill() {
 	if t.finished {
+		return
+	}
+	if !t.launched {
+		// No workload goroutine exists yet (never started, or started but
+		// never stepped), so there is nothing to unwind — and nobody will
+		// ever close the op channel, so draining it below would block
+		// forever. (Runtime.KillAll reaches this when a machine shuts down
+		// between thread creation and dispatch.)
+		t.finished = true
 		return
 	}
 	select {

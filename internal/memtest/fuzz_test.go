@@ -1,0 +1,46 @@
+package memtest_test
+
+import (
+	"testing"
+
+	"ccsvm/internal/memtest"
+)
+
+// fuzzConfig is the chip and sharing pattern every FuzzProtocol input runs
+// on: the tiny machine (maximum eviction pressure) with a working set small
+// enough that arbitrary byte programs collide constantly.
+func fuzzConfig() memtest.Config {
+	return memtest.Config{
+		MachineName:  "tiny",
+		CPUThreads:   2,
+		MTTOPThreads: 2,
+		Rounds:       1,
+		Lines:        6,
+		SlotsPerLine: 2,
+	}
+}
+
+// FuzzProtocol decodes arbitrary bytes into a stress program (every byte
+// string is structurally valid — see ProgramFromBytes) and runs it through
+// the full harness: any oracle mismatch, invariant violation, pool leak, or
+// model panic is a finding. The seed corpus covers read/write/atomic
+// single-slot contention and a mixed burst.
+func FuzzProtocol(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x00, 0x01, 0x02})
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01, 0x05, 0x05, 0x09, 0x09})
+	f.Add([]byte{0x02, 0x06, 0x0a, 0x0e, 0x12, 0x16, 0x1a, 0x1e, 0x22, 0x26})
+	f.Add([]byte{0x00, 0x41, 0x82, 0xc3, 0x04, 0x45, 0x86, 0xc7, 0x08, 0x49,
+		0x8a, 0xcb, 0x0c, 0x4d, 0x8e, 0xcf})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1024 {
+			data = data[:1024]
+		}
+		cfg := fuzzConfig()
+		prog := memtest.ProgramFromBytes(cfg, data)
+		rep := memtest.RunProgram(cfg, prog)
+		if !rep.OK() {
+			t.Fatalf("decoded program failed: %s", rep.FailureSummary())
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package memtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccsvm/internal/cache"
+	"ccsvm/internal/core"
+	"ccsvm/internal/workloads"
+)
+
+// Config parameterizes one stress run: which chip to build, how much traffic
+// to generate, and the shape of the sharing pattern.
+type Config struct {
+	// MachineName selects the chip: a registered ccsvm preset name
+	// ("ccsvm-base", "ccsvm-small-cache", ...), "small" for core.SmallConfig,
+	// or "tiny" for the memtest-internal scaled-down chip whose very small
+	// caches maximize eviction pressure. Used by machineConfig and by
+	// GoSource so reproducers stay one line.
+	MachineName string
+
+	// Seed drives the generator; the same Config must reproduce the same
+	// Program and (by the determinism contract) the same run, bit for bit.
+	Seed int64
+
+	// CPUThreads and MTTOPThreads are the concurrency of the generated
+	// program. CPUThreads includes the main thread; at least one CPU thread
+	// always exists. Threads beyond the core count queue round-robin.
+	CPUThreads   int
+	MTTOPThreads int
+
+	// OpsPerThread is how many operations each thread performs in total
+	// (split across Rounds).
+	OpsPerThread int
+
+	// Rounds splits every thread's op sequence into this many program
+	// launches with a full quiesce — and an invariant sample — between them.
+	Rounds int
+
+	// Lines is the number of distinct cache lines in the shared working set;
+	// SlotsPerLine is how many independent 8-byte slots each line carries
+	// (>1 creates false sharing: disjoint data, same coherence unit).
+	Lines        int
+	SlotsPerLine int
+
+	// PctRead, PctWrite and PctAtomic set the op mix in percent; the
+	// remainder are small compute bursts that stagger the cores.
+	PctRead, PctWrite, PctAtomic int
+
+	// InjectSkipInvalidations arms the directory fault injection on every
+	// bank (see coherence.DirectoryBank.InjectSkipInvalidations). Zero for
+	// real stress runs; nonzero only to prove the checks catch a planted bug.
+	InjectSkipInvalidations int
+}
+
+// DefaultConfig returns a stress configuration with bite: a scaled-down chip
+// with tiny caches, heavy line contention and false sharing, and a
+// read/write/atomic mix.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		MachineName:  "tiny",
+		Seed:         seed,
+		CPUThreads:   3,
+		MTTOPThreads: 6,
+		OpsPerThread: 400,
+		Rounds:       2,
+		Lines:        16,
+		SlotsPerLine: 4,
+		PctRead:      35,
+		PctWrite:     30,
+		PctAtomic:    20,
+	}
+}
+
+// normalized fills zero fields with usable defaults and clamps the rest, so
+// fuzzers and CLIs can hand in partial configs.
+func (c Config) normalized() Config {
+	if c.MachineName == "" {
+		c.MachineName = "tiny"
+	}
+	if c.CPUThreads < 1 {
+		c.CPUThreads = 1
+	}
+	if c.MTTOPThreads < 0 {
+		c.MTTOPThreads = 0
+	}
+	if c.Rounds < 1 {
+		c.Rounds = 1
+	}
+	if c.Lines < 1 {
+		c.Lines = 1
+	}
+	if c.SlotsPerLine < 1 {
+		c.SlotsPerLine = 1
+	}
+	if c.SlotsPerLine > 8 {
+		c.SlotsPerLine = 8 // 8 slots of 8 bytes fill a 64-byte line
+	}
+	return c
+}
+
+// slots reports the size of the shared address table.
+func (c Config) slots() int { return c.Lines * c.SlotsPerLine }
+
+// machineConfig resolves MachineName to a chip configuration.
+func (c Config) machineConfig() (core.Config, error) {
+	switch c.MachineName {
+	case "small":
+		return core.SmallConfig(), nil
+	case "tiny":
+		return tinyMachine(), nil
+	}
+	p, ok := workloads.LookupPreset(c.MachineName)
+	if !ok {
+		return core.Config{}, fmt.Errorf("memtest: unknown machine %q (want a ccsvm preset, \"small\" or \"tiny\")", c.MachineName)
+	}
+	if p.Machine != workloads.MachineCCSVM {
+		return core.Config{}, fmt.Errorf("memtest: preset %q configures the %s machine; the stress harness drives the ccsvm machine only", c.MachineName, p.Machine)
+	}
+	return p.CCSVM, nil
+}
+
+// tinyMachine is the memtest workhorse chip: the scaled-down test machine
+// with caches shrunk until a handful of contended lines already evicts —
+// every protocol path (forwards, upgrades, writebacks, races with evictions)
+// fires within a few hundred ops.
+func tinyMachine() core.Config {
+	cfg := core.SmallConfig()
+	cfg.CPUL1 = cache.Config{SizeBytes: 2 * 1024, Assoc: 4}
+	cfg.MTTOPL1 = cache.Config{SizeBytes: 1024, Assoc: 4}
+	cfg.L2Banks = 2
+	cfg.L2BankBytes = 16 * 1024
+	cfg.MTTOPContexts = 16
+	return cfg
+}
+
+// Generate builds the seed-driven random program for the configuration. The
+// same Config always yields the same Program.
+func Generate(cfg Config) Program {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := cfg.slots()
+	genOps := func() []Op {
+		ops := make([]Op, 0, cfg.OpsPerThread)
+		for i := 0; i < cfg.OpsPerThread; i++ {
+			p := rng.Intn(100)
+			var op Op
+			switch {
+			case p < cfg.PctRead:
+				op = Op{Kind: OpRead, Slot: int32(rng.Intn(slots))}
+			case p < cfg.PctRead+cfg.PctWrite:
+				op = Op{Kind: OpWrite, Slot: int32(rng.Intn(slots))}
+			case p < cfg.PctRead+cfg.PctWrite+cfg.PctAtomic:
+				op = Op{Kind: OpAtomic, Slot: int32(rng.Intn(slots))}
+			default:
+				op = Op{Kind: OpCompute, Arg: uint32(rng.Intn(64) + 1)}
+			}
+			ops = append(ops, op)
+		}
+		return ops
+	}
+	prog := Program{}
+	for i := 0; i < cfg.CPUThreads; i++ {
+		prog.CPU = append(prog.CPU, genOps())
+	}
+	for i := 0; i < cfg.MTTOPThreads; i++ {
+		prog.MTTOP = append(prog.MTTOP, genOps())
+	}
+	return prog
+}
+
+// ProgramFromBytes decodes an arbitrary byte string into a valid Program for
+// the configuration — the FuzzProtocol entry point. Bytes are dealt
+// round-robin across the configured threads; each byte becomes one op (two
+// bits of kind, the rest selecting the slot or compute size), so any fuzzer
+// mutation is a structurally valid program.
+func ProgramFromBytes(cfg Config, data []byte) Program {
+	cfg = cfg.normalized()
+	slots := cfg.slots()
+	threads := cfg.CPUThreads + cfg.MTTOPThreads
+	prog := Program{
+		CPU:   make([][]Op, cfg.CPUThreads),
+		MTTOP: make([][]Op, cfg.MTTOPThreads),
+	}
+	for i, b := range data {
+		var op Op
+		switch b & 3 {
+		case 0:
+			op = Op{Kind: OpRead, Slot: int32(int(b>>2) % slots)}
+		case 1:
+			op = Op{Kind: OpWrite, Slot: int32(int(b>>2) % slots)}
+		case 2:
+			op = Op{Kind: OpAtomic, Slot: int32(int(b>>2) % slots)}
+		default:
+			op = Op{Kind: OpCompute, Arg: uint32(b>>2) + 1}
+		}
+		t := i % threads
+		if t < cfg.CPUThreads {
+			prog.CPU[t] = append(prog.CPU[t], op)
+		} else {
+			prog.MTTOP[t-cfg.CPUThreads] = append(prog.MTTOP[t-cfg.CPUThreads], op)
+		}
+	}
+	return prog
+}

@@ -1,0 +1,188 @@
+package memtest_test
+
+import (
+	"strings"
+	"testing"
+
+	"ccsvm/internal/memtest"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := memtest.DefaultConfig(7)
+	a := memtest.Generate(cfg)
+	b := memtest.Generate(cfg)
+	if len(a.CPU) != len(b.CPU) || len(a.MTTOP) != len(b.MTTOP) {
+		t.Fatal("same config generated different program shapes")
+	}
+	for i := range a.CPU {
+		for j := range a.CPU[i] {
+			if a.CPU[i][j] != b.CPU[i][j] {
+				t.Fatalf("CPU[%d][%d] differs: %v vs %v", i, j, a.CPU[i][j], b.CPU[i][j])
+			}
+		}
+	}
+	if memtest.Generate(memtest.DefaultConfig(8)).CPU[0][0] == a.CPU[0][0] &&
+		memtest.Generate(memtest.DefaultConfig(8)).CPU[0][1] == a.CPU[0][1] &&
+		memtest.Generate(memtest.DefaultConfig(8)).CPU[0][2] == a.CPU[0][2] {
+		t.Fatal("different seeds generated identical program prefixes")
+	}
+}
+
+// TestStressCleanRun is the core conformance check: a contended
+// multi-round random program over the tiny chip completes with every oracle,
+// invariant, accounting and completion check green.
+func TestStressCleanRun(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		rep := memtest.RunSeed(memtest.DefaultConfig(seed))
+		if !rep.OK() {
+			t.Fatalf("seed %d: %s", seed, rep.FailureSummary())
+		}
+		if rep.Ops == 0 || rep.Events == 0 {
+			t.Fatalf("seed %d: empty run (ops %d, events %d)", seed, rep.Ops, rep.Events)
+		}
+		if rep.Pool.Gets == 0 {
+			t.Fatalf("seed %d: no protocol messages exchanged — the stress did not reach the protocol", seed)
+		}
+	}
+}
+
+// TestStressDeterminism runs the same seed twice and requires a bit-identical
+// event trace and final memory image — the determinism leg of the subsystem.
+func TestStressDeterminism(t *testing.T) {
+	cfg := memtest.DefaultConfig(42)
+	a := memtest.RunSeed(cfg)
+	b := memtest.RunSeed(cfg)
+	if !a.OK() || !b.OK() {
+		t.Fatalf("runs failed: %s %s", a.FailureSummary(), b.FailureSummary())
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("event traces diverge: %#x vs %#x", a.TraceHash, b.TraceHash)
+	}
+	if a.MemHash != b.MemHash {
+		t.Fatalf("final memory images diverge: %#x vs %#x", a.MemHash, b.MemHash)
+	}
+	if a.Events != b.Events || a.SimTime != b.SimTime || a.Ops != b.Ops {
+		t.Fatalf("run shapes diverge: %+v vs %+v", a, b)
+	}
+}
+
+// TestStressOnPresets runs a short stress on the paper presets the acceptance
+// criteria name, including the eviction-pressure small-cache variant.
+func TestStressOnPresets(t *testing.T) {
+	for _, preset := range []string{"ccsvm-base", "ccsvm-small-cache"} {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			cfg := memtest.DefaultConfig(1)
+			cfg.MachineName = preset
+			cfg.OpsPerThread = 150
+			rep := memtest.RunSeed(cfg)
+			if !rep.OK() {
+				t.Fatalf("%s", rep.FailureSummary())
+			}
+		})
+	}
+}
+
+// TestInjectedBugIsCaughtAndShrinks arms the directory's skip-invalidation
+// fault injection and requires (a) the stress checks to catch the planted
+// protocol bug and (b) the shrinker to minimize it to a directed litmus case
+// of at most 20 ops that still reproduces, emitted as Go source.
+func TestInjectedBugIsCaughtAndShrinks(t *testing.T) {
+	cfg := memtest.DefaultConfig(1)
+	cfg.InjectSkipInvalidations = 1
+	rep := memtest.RunSeed(cfg)
+	if rep.OK() {
+		t.Fatal("planted skip-invalidation bug was not caught")
+	}
+	found := false
+	for _, f := range rep.Failures {
+		if strings.Contains(f, "checker:") || strings.Contains(f, "quiesce") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bug caught, but not by an invariant check: %s", rep.FailureSummary())
+	}
+
+	prog := memtest.Generate(cfg)
+	small, runs := memtest.Shrink(cfg, prog, 300)
+	t.Logf("shrunk %d ops -> %d ops in %d runs", prog.Ops(), small.Ops(), runs)
+	if small.Ops() > 20 {
+		t.Fatalf("shrunk reproducer has %d ops, want <= 20", small.Ops())
+	}
+	srep := memtest.RunProgram(cfg, small)
+	if srep.OK() {
+		t.Fatal("shrunk program no longer reproduces the failure")
+	}
+
+	src := memtest.GoSource(cfg, small, "LitmusSkipInvalidation")
+	for _, want := range []string{
+		"func TestLitmusSkipInvalidation(t *testing.T)",
+		"memtest.RunProgram(cfg, prog)",
+		"InjectSkipInvalidations: 1",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("emitted source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestCleanShrinkBudget: shrinking a passing program must return it unchanged
+// after exactly one run.
+func TestCleanShrinkBudget(t *testing.T) {
+	cfg := memtest.DefaultConfig(3)
+	cfg.OpsPerThread = 20
+	prog := memtest.Generate(cfg)
+	small, runs := memtest.Shrink(cfg, prog, 50)
+	if runs != 1 {
+		t.Fatalf("shrinking a passing program used %d runs, want 1", runs)
+	}
+	if small.Ops() != prog.Ops() {
+		t.Fatal("shrinking a passing program changed it")
+	}
+}
+
+// TestProgramFromBytes checks the fuzz decoder: any byte string becomes a
+// structurally valid program, and the empty string a runnable empty one.
+func TestProgramFromBytes(t *testing.T) {
+	cfg := memtest.DefaultConfig(1)
+	prog := memtest.ProgramFromBytes(cfg, []byte{0, 1, 2, 3, 0xff, 0x80, 0x41})
+	if prog.Ops() != 7 {
+		t.Fatalf("decoded %d ops from 7 bytes", prog.Ops())
+	}
+	slots := int32(cfg.Lines * cfg.SlotsPerLine)
+	check := func(threads [][]memtest.Op) {
+		for _, ops := range threads {
+			for _, op := range ops {
+				if op.Slot < 0 || op.Slot >= slots {
+					t.Fatalf("op %v slot out of range [0,%d)", op, slots)
+				}
+			}
+		}
+	}
+	check(prog.CPU)
+	check(prog.MTTOP)
+
+	rep := memtest.RunProgram(cfg, memtest.ProgramFromBytes(cfg, nil))
+	if !rep.OK() {
+		t.Fatalf("empty program failed: %s", rep.FailureSummary())
+	}
+}
+
+// TestUnknownMachineFailsCleanly: a bad machine name is a reported failure,
+// not a panic.
+func TestUnknownMachineFailsCleanly(t *testing.T) {
+	cfg := memtest.DefaultConfig(1)
+	cfg.MachineName = "no-such-chip"
+	rep := memtest.RunSeed(cfg)
+	if rep.OK() {
+		t.Fatal("unknown machine accepted")
+	}
+	if !strings.Contains(rep.FailureSummary(), "unknown machine") {
+		t.Fatalf("unexpected failure: %s", rep.FailureSummary())
+	}
+}

@@ -1,0 +1,108 @@
+package memtest
+
+// Shrink minimizes a failing program to a directed litmus case: it repeatedly
+// deletes whole threads and op chunks (delta-debugging style, halving chunk
+// sizes down to single ops) while the program still fails, and returns the
+// smallest failing program found plus the number of runs spent. maxRuns
+// bounds the work (0 means a sensible default); the input program is not
+// mutated.
+//
+// Shrinking re-runs RunProgram with the same Config, so an armed fault
+// injection (InjectSkipInvalidations) stays armed in every candidate — the
+// reproducer keeps failing when replayed.
+func Shrink(cfg Config, prog Program, maxRuns int) (Program, int) {
+	if maxRuns <= 0 {
+		maxRuns = 300
+	}
+	runs := 0
+	fails := func(p Program) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		return !RunProgram(cfg, p).OK()
+	}
+	best := prog.clone()
+	if !fails(best) {
+		// Not reproducible (flaky caller, or budget exhausted immediately).
+		return best, runs
+	}
+
+	for changed := true; changed && runs < maxRuns; {
+		changed = false
+
+		// Pass 1: drop entire threads, last to first (later threads are
+		// usually the least essential — earlier ones establish sharing).
+		threadLists := []*[][]Op{&best.MTTOP, &best.CPU}
+		for _, lists := range threadLists {
+			for i := len(*lists) - 1; i >= 0; i-- {
+				if len((*lists)[i]) == 0 {
+					continue
+				}
+				cand := best.clone()
+				if lists == &best.MTTOP {
+					cand.MTTOP[i] = nil
+				} else {
+					cand.CPU[i] = nil
+				}
+				if fails(cand) {
+					best = cand
+					changed = true
+				}
+			}
+		}
+
+		// Pass 2: per-thread delta debugging — delete chunks, halving the
+		// chunk size until single ops.
+		shrinkOps := func(get func(p *Program) *[]Op) {
+			for chunk := len(*get(&best)); chunk >= 1; chunk /= 2 {
+				for lo := 0; lo < len(*get(&best)); {
+					ops := *get(&best)
+					hi := lo + chunk
+					if hi > len(ops) {
+						hi = len(ops)
+					}
+					cand := best.clone()
+					c := get(&cand)
+					*c = append(append([]Op(nil), ops[:lo]...), ops[hi:]...)
+					if fails(cand) {
+						best = cand
+						changed = true
+						// Same lo now addresses the next chunk.
+					} else {
+						lo = hi
+					}
+					if runs >= maxRuns {
+						return
+					}
+				}
+			}
+		}
+		for i := range best.CPU {
+			i := i
+			shrinkOps(func(p *Program) *[]Op { return &p.CPU[i] })
+		}
+		for i := range best.MTTOP {
+			i := i
+			shrinkOps(func(p *Program) *[]Op { return &p.MTTOP[i] })
+		}
+	}
+
+	// Trim empty trailing threads so the reproducer reads minimally. The
+	// trim changes the thread/launch count, which can perturb timing, so it
+	// is validated like any other candidate.
+	trimmed := best.clone()
+	for len(trimmed.MTTOP) > 0 && len(trimmed.MTTOP[len(trimmed.MTTOP)-1]) == 0 {
+		trimmed.MTTOP = trimmed.MTTOP[:len(trimmed.MTTOP)-1]
+	}
+	for len(trimmed.CPU) > 1 && len(trimmed.CPU[len(trimmed.CPU)-1]) == 0 {
+		trimmed.CPU = trimmed.CPU[:len(trimmed.CPU)-1]
+	}
+	if len(trimmed.CPU) != len(best.CPU) || len(trimmed.MTTOP) != len(best.MTTOP) {
+		runs++
+		if !RunProgram(cfg, trimmed).OK() {
+			best = trimmed
+		}
+	}
+	return best, runs
+}

@@ -145,6 +145,17 @@ type Engine struct {
 
 	// executed counts events that have run, for debugging and stats.
 	executed uint64
+
+	// live counts events checked out of the free list (scheduled or firing
+	// but not yet released). The memtest subsystem asserts it returns to
+	// zero at quiesce, which catches leaked or double-released events.
+	live int
+
+	// traceOn/traceHash accumulate an order-sensitive hash of every executed
+	// event's (time, seq) pair — a cheap fingerprint of the full event trace
+	// that the determinism checks compare across same-seed runs.
+	traceOn   bool
+	traceHash uint64
 }
 
 // NewEngine returns an engine positioned at time zero with an empty queue.
@@ -161,10 +172,40 @@ func (e *Engine) Pending() int { return e.pending }
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// LiveEvents reports how many pooled event objects are currently checked out
+// (queued — including canceled-but-undrained — or firing). A drained engine
+// must report zero; anything else is a leak in the event pool.
+func (e *Engine) LiveEvents() int { return e.live }
+
+// EnableTraceHash starts accumulating an order-sensitive hash of every
+// executed event's (time, seq) pair. Two runs of the same simulation are
+// bit-identical iff they execute the same events in the same order, so equal
+// trace hashes are the determinism contract's fingerprint.
+func (e *Engine) EnableTraceHash() {
+	e.traceOn = true
+	e.traceHash = fnvOffset
+}
+
+// TraceHash returns the accumulated event-trace hash (zero until
+// EnableTraceHash is called).
+func (e *Engine) TraceHash() uint64 { return e.traceHash }
+
+// FNV-1a parameters, used for the trace hash (folding whole 64-bit words
+// instead of bytes: the mix only needs to be order-sensitive, not standard).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	return (h ^ v) * fnvPrime
+}
+
 // eventChunk is how many Event objects one free-list refill allocates.
 const eventChunk = 64
 
 func (e *Engine) alloc() *Event {
+	e.live++
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free[n-1] = nil
@@ -183,6 +224,10 @@ func (e *Engine) alloc() *Event {
 
 // release returns a drained event to the free list.
 func (e *Engine) release(ev *Event) {
+	if ev.index == indexPooled {
+		panic("sim: double release of a pooled event")
+	}
+	e.live--
 	ev.fn = nil
 	ev.afn = nil
 	ev.arg = nil
@@ -380,6 +425,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	e.now = ev.when
+	if e.traceOn {
+		e.traceHash = fnvMix(fnvMix(e.traceHash, uint64(ev.when)), ev.seq)
+	}
 	fn, afn, arg := ev.fn, ev.afn, ev.arg
 	// Recycle before dispatch so the callback's own scheduling reuses the
 	// object immediately; the handle contract (see Event) makes this safe.

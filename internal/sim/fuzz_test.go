@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzEngineQueue feeds a byte-encoded schedule/cancel/nested-schedule script
+// to the production engine (calendar ring + overflow heap + event pool) and to
+// the naive refEngine specification, and requires bit-identical execution
+// order. Each input byte is one action; the same script drives both engines,
+// so any divergence in ordering, cancellation, or pool recycling shows up as a
+// mismatched firing log. It also asserts the event pool's live-object count
+// returns to zero once the queue drains.
+func FuzzEngineQueue(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x42, 0x81, 0xc3, 0x07, 0xff, 0x10})
+	f.Add([]byte{0x03, 0x03, 0x03, 0x80, 0x80, 0x41, 0x02, 0x9f, 0x60, 0x33})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		real := runQueueScript(t, script, true)
+		ref := runQueueScript(t, script, false)
+		if len(real) != len(ref) {
+			t.Fatalf("engine fired %d events, reference fired %d", len(real), len(ref))
+		}
+		for i := range real {
+			if real[i] != ref[i] {
+				t.Fatalf("firing order diverges at %d: engine %v, reference %v", i, real, ref)
+			}
+		}
+	})
+}
+
+// scriptDelay maps an action byte to a delay that lands in the calendar
+// window (low bytes) or the overflow heap (high bytes), so both queue levels
+// are exercised by most scripts.
+func scriptDelay(b byte) Duration {
+	if b&0x80 != 0 {
+		return Duration(int(b&0x7f))*2048 + 70_000 // beyond the ~65 ns window
+	}
+	return Duration(int(b) * 40) // inside the calendar ring
+}
+
+// runQueueScript interprets the script against the production engine (real)
+// or the reference model, returning the ids in firing order. Every fired
+// event consumes the next unconsumed script byte (if any) to decide whether
+// to schedule a nested event, so nested scheduling replays identically on
+// both engines as long as the firing order matches — which is the property
+// under test.
+func runQueueScript(t *testing.T, script []byte, real bool) []int {
+	t.Helper()
+	var order []int
+	nextID := 0
+	pos := 0
+	nextByte := func() (byte, bool) {
+		if pos >= len(script) {
+			return 0, false
+		}
+		b := script[pos]
+		pos++
+		return b, true
+	}
+
+	if real {
+		e := NewEngine()
+		var handles []*Event
+		var schedule func(delay Duration)
+		schedule = func(delay Duration) {
+			id := nextID
+			nextID++
+			handles = append(handles, e.Schedule(delay, func() {
+				handles[id] = nil
+				order = append(order, id)
+				if b, ok := nextByte(); ok && b&3 == 3 {
+					schedule(scriptDelay(b))
+				}
+			}))
+		}
+		for pos < len(script) {
+			b, _ := nextByte()
+			switch b & 3 {
+			case 0, 1, 3:
+				schedule(scriptDelay(b))
+			case 2:
+				if len(handles) > 0 {
+					i := int(b>>2) % len(handles)
+					if handles[i] != nil {
+						e.Cancel(handles[i])
+						handles[i] = nil
+					}
+				}
+			}
+		}
+		e.Run()
+		if e.LiveEvents() != 0 {
+			t.Fatalf("drained engine has %d live events, want 0", e.LiveEvents())
+		}
+		return order
+	}
+
+	r := &refEngine{}
+	var handles []*refEvent
+	var schedule func(delay Duration)
+	schedule = func(delay Duration) {
+		id := nextID
+		nextID++
+		handles = append(handles, r.schedule(delay, func() {
+			handles[id] = nil
+			order = append(order, id)
+			if b, ok := nextByte(); ok && b&3 == 3 {
+				schedule(scriptDelay(b))
+			}
+		}))
+	}
+	for pos < len(script) {
+		b, _ := nextByte()
+		switch b & 3 {
+		case 0, 1, 3:
+			schedule(scriptDelay(b))
+		case 2:
+			if len(handles) > 0 {
+				i := int(b>>2) % len(handles)
+				if handles[i] != nil {
+					handles[i].canceled = true
+					handles[i] = nil
+				}
+			}
+		}
+	}
+	for r.step() {
+	}
+	return order
+}
+
+// TestEngineLiveEventsAccounting pins the live-event pool accounting: queued
+// and canceled-but-undrained events count as live, and a fully drained queue
+// returns to zero.
+func TestEngineLiveEventsAccounting(t *testing.T) {
+	e := NewEngine()
+	if e.LiveEvents() != 0 {
+		t.Fatalf("fresh engine has %d live events", e.LiveEvents())
+	}
+	a := e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	if e.LiveEvents() != 2 {
+		t.Fatalf("live = %d after two schedules, want 2", e.LiveEvents())
+	}
+	// A canceled event stays checked out until the queue drains past it.
+	e.Cancel(a)
+	if e.LiveEvents() != 2 {
+		t.Fatalf("live = %d after cancel (undrained), want 2", e.LiveEvents())
+	}
+	e.Run()
+	if e.LiveEvents() != 0 {
+		t.Fatalf("live = %d after drain, want 0", e.LiveEvents())
+	}
+}
+
+// TestEngineTraceHash pins the trace-hash fingerprint: identical schedules
+// hash identically, and a schedule that executes different events (or the
+// same events in a different order) hashes differently.
+func TestEngineTraceHash(t *testing.T) {
+	run := func(delays []Duration) uint64 {
+		e := NewEngine()
+		e.EnableTraceHash()
+		for _, d := range delays {
+			e.Schedule(d, func() {})
+		}
+		e.Run()
+		return e.TraceHash()
+	}
+	a := run([]Duration{5, 10, 15})
+	b := run([]Duration{5, 10, 15})
+	c := run([]Duration{5, 10, 16})
+	if a != b {
+		t.Fatalf("identical runs hash differently: %#x vs %#x", a, b)
+	}
+	if a == c {
+		t.Fatalf("different runs hash identically: %#x", a)
+	}
+	if (&Engine{}).TraceHash() != 0 {
+		t.Fatal("trace hash should be zero before EnableTraceHash")
+	}
+}
