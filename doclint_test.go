@@ -10,12 +10,21 @@ import (
 )
 
 // TestDocLint fails when an exported symbol in the public facade (the root
-// package) or in internal/workloads — the two packages contributors extend
-// when adding workloads, presets, or overrides — lacks a doc comment. CI
-// runs it as a dedicated step so documentation debt fails the build, not
-// just review.
+// package), in internal/workloads — the two packages contributors extend
+// when adding workloads, presets, or overrides — or in the lint suite
+// (internal/lint and its subpackages, whose exported Analyzers and helpers
+// are the contributor-facing surface of the static-enforcement layer) lacks
+// a doc comment. CI runs it as a dedicated step so documentation debt fails
+// the build, not just review.
 func TestDocLint(t *testing.T) {
-	for _, dir := range []string{".", "internal/workloads"} {
+	for _, dir := range []string{
+		".",
+		"internal/workloads",
+		"internal/lint",
+		"internal/lint/analysis",
+		"internal/lint/load",
+		"internal/lint/linttest",
+	} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")

@@ -114,6 +114,7 @@ func (g *GPUMemory) Access(req mem.Request, done func()) {
 func (g *GPUMemory) flushOneLine() {
 	oldest := mem.LineAddr(0)
 	oldestSeq := g.writeSeq + 1
+	//ccsvm:orderinvariant
 	for line, seq := range g.writeBuf {
 		if seq < oldestSeq {
 			oldestSeq = seq

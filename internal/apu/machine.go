@@ -300,6 +300,8 @@ func (m *Machine) InvalidateCPUCaches(base mem.VAddr, size uint64) {
 type HostFunc func(ctx *HostContext)
 
 // newHostThread wraps a host function as a software thread.
+//
+//ccsvm:threadentry
 func (m *Machine) newHostThread(name string, fn HostFunc) *exec.Thread {
 	t := exec.NewThread(len(m.threads), name, func(ec *exec.Context) {
 		fn(&HostContext{Context: ec, m: m})
@@ -314,6 +316,8 @@ func (m *Machine) TrackThread(t *exec.Thread) { m.threads = append(m.threads, t)
 
 // RunProgram runs a single host program on CPU core 0 to completion and
 // returns the simulated time consumed.
+//
+//ccsvm:threadentry
 func (m *Machine) RunProgram(fn HostFunc) (sim.Duration, error) {
 	return m.RunThreads([]HostFunc{fn})
 }
@@ -321,6 +325,8 @@ func (m *Machine) RunProgram(fn HostFunc) (sim.Duration, error) {
 // RunThreads runs one host function per CPU core (pthreads-style), starting
 // them together, and returns the simulated time until all have finished and
 // the machine has quiesced.
+//
+//ccsvm:threadentry
 func (m *Machine) RunThreads(fns []HostFunc) (sim.Duration, error) {
 	if len(fns) > len(m.CPUs) {
 		return 0, fmt.Errorf("apu: %d threads exceed %d CPU cores", len(fns), len(m.CPUs))

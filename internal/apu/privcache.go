@@ -11,9 +11,13 @@
 // expensive kernel launches and synchronization, large driver/JIT constants —
 // and the APU's structural advantages (higher CPU IPC, wider VLIW GPU,
 // coalesced GPU memory accesses).
+//
+//ccsvm:deterministic
 package apu
 
 import (
+	"sort"
+
 	"ccsvm/internal/cache"
 	"ccsvm/internal/dram"
 	"ccsvm/internal/mem"
@@ -28,10 +32,18 @@ import (
 // in.
 type snoopFilter struct {
 	holders map[mem.LineAddr]map[*PrivateHierarchy]struct{}
+	nextID  int
 }
 
 func newSnoopFilter() *snoopFilter {
 	return &snoopFilter{holders: make(map[mem.LineAddr]map[*PrivateHierarchy]struct{})}
+}
+
+// register hands the hierarchy the stable ID that orders snoop
+// invalidations.
+func (s *snoopFilter) register(h *PrivateHierarchy) {
+	h.id = s.nextID
+	s.nextID++
 }
 
 func (s *snoopFilter) touch(h *PrivateHierarchy, line mem.LineAddr) {
@@ -43,12 +55,27 @@ func (s *snoopFilter) touch(h *PrivateHierarchy, line mem.LineAddr) {
 	set[h] = struct{}{}
 }
 
+// invalidateOthers drops every other hierarchy's copy of line. Holders are
+// visited in registration order: each invalidation only touches that
+// hierarchy's own arrays, so the effects commute, but a fixed order keeps
+// same-seed runs bit-identical (iterating the pointer-keyed map directly
+// varies with allocation addresses).
 func (s *snoopFilter) invalidateOthers(h *PrivateHierarchy, line mem.LineAddr) {
-	for other := range s.holders[line] {
+	set := s.holders[line]
+	if len(set) == 0 {
+		return
+	}
+	others := make([]*PrivateHierarchy, 0, len(set))
+	//ccsvm:orderinvariant
+	for other := range set {
 		if other != h {
-			other.invalidateLine(line)
-			delete(s.holders[line], other)
+			others = append(others, other)
 		}
+	}
+	sort.Slice(others, func(i, j int) bool { return others[i].id < others[j].id })
+	for _, other := range others {
+		other.invalidateLine(line)
+		delete(set, other)
 	}
 }
 
@@ -57,6 +84,7 @@ func (s *snoopFilter) invalidateOthers(h *PrivateHierarchy, line mem.LineAddr) {
 type PrivateHierarchy struct {
 	engine *sim.Engine
 	name   string
+	id     int
 	l1     *cache.Array
 	l2     *cache.Array
 	l1Hit  sim.Duration
@@ -103,6 +131,9 @@ func NewPrivateHierarchy(engine *sim.Engine, cfg HierarchyConfig, d *dram.Contro
 		l2Hit:  cfg.L2Hit,
 		dram:   d,
 		filter: filter,
+	}
+	if filter != nil {
+		filter.register(h)
 	}
 	h.l1Hits = reg.Counter(name + ".l1_hits")
 	h.l2Hits = reg.Counter(name + ".l2_hits")

@@ -63,6 +63,7 @@ func (c *Checker) check(addr mem.LineAddr, holders map[noc.NodeID]cache.State) {
 	writers := 0
 	readers := 0
 	owners := 0
+	//ccsvm:orderinvariant
 	for _, st := range holders {
 		if st.CanWrite() {
 			writers++
@@ -91,6 +92,7 @@ func (c *Checker) check(addr mem.LineAddr, holders map[noc.NodeID]cache.State) {
 // Holders returns a copy of the stable holders of a line, for tests.
 func (c *Checker) Holders(addr mem.LineAddr) map[noc.NodeID]cache.State {
 	out := make(map[noc.NodeID]cache.State)
+	//ccsvm:orderinvariant
 	for n, s := range c.lines[addr] {
 		out[n] = s
 	}

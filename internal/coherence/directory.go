@@ -58,6 +58,7 @@ type dirEntry struct {
 
 func (e *dirEntry) sharerList(except noc.NodeID) []noc.NodeID {
 	out := make([]noc.NodeID, 0, len(e.sharers))
+	//ccsvm:orderinvariant
 	for s := range e.sharers {
 		if s != except {
 			out = append(out, s)
@@ -168,6 +169,7 @@ func (b *DirectoryBank) maybeDropSharer(sharers []noc.NodeID) []noc.NodeID {
 // Busy reports whether any entry is mid-transaction (tests use this to
 // confirm quiescence).
 func (b *DirectoryBank) Busy() bool {
+	//ccsvm:orderinvariant
 	for _, e := range b.entries {
 		if e.busy || len(e.queue) > 0 {
 			return true
@@ -186,6 +188,8 @@ func (b *DirectoryBank) entryOf(addr mem.LineAddr) *dirEntry {
 }
 
 // Receive implements noc.Receiver.
+//
+//ccsvm:hotpath
 func (b *DirectoryBank) Receive(nm *noc.Message) {
 	// Every message pays the L2/directory access latency. The protocol
 	// payload outlives the network envelope (which is recycled when this

@@ -257,6 +257,8 @@ func (c *L1Controller) evictLine(victim cache.Line) {
 // Receive implements noc.Receiver. Responses, invalidations and put-acks are
 // fully consumed here and released; forwards are released by handleFwd, which
 // may retain them in an MSHR's deferred list first.
+//
+//ccsvm:hotpath
 func (c *L1Controller) Receive(nm *noc.Message) {
 	m := nm.Payload.(*Msg)
 	switch m.Type {

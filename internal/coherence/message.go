@@ -5,6 +5,8 @@
 // directory embedded with the shared, inclusive L2, treating CPU and MTTOP
 // cores identically, and maintaining the single-writer/multiple-reader (SWMR)
 // invariant.
+//
+//ccsvm:deterministic
 package coherence
 
 import (
@@ -181,6 +183,8 @@ func SumPoolStats(l1s []*L1Controller, banks []*DirectoryBank) PoolStats {
 }
 
 // get returns a message with the given header fields and all others zeroed.
+//
+//ccsvm:pooled get
 func (p *msgPool) get(t MsgType, addr mem.LineAddr, req noc.NodeID) *Msg {
 	p.stats.Gets++
 	var m *Msg
@@ -203,6 +207,8 @@ func (p *msgPool) get(t MsgType, addr mem.LineAddr, req noc.NodeID) *Msg {
 // message that is already pooled is recorded (and the message left alone)
 // rather than corrupting the free list; the accounting checks fail loudly on
 // any such release.
+//
+//ccsvm:pooled put
 func (p *msgPool) put(m *Msg) {
 	if m.pooled {
 		p.stats.DoubleReleases++

@@ -183,6 +183,8 @@ func (m *Machine) handleSyscall(core *cpu.Core, num int, args []uint64, done fun
 // RegisterKernel registers an MTTOP kernel and returns the ID that
 // CreateMThreads uses (the simulator's stand-in for the kernel's program
 // counter, resolved by the compilation toolchain in the paper).
+//
+//ccsvm:threadentry
 func (m *Machine) RegisterKernel(k xthreads.KernelFunc) int {
 	return m.Runtime.RegisterKernel(k)
 }
@@ -190,6 +192,8 @@ func (m *Machine) RegisterKernel(k xthreads.KernelFunc) int {
 // RunProgram executes an xthreads program: main runs as a software thread on
 // CPU core 0; the simulation advances until main has returned and the machine
 // has quiesced. It returns the simulated time consumed.
+//
+//ccsvm:threadentry
 func (m *Machine) RunProgram(main xthreads.MainFunc) (sim.Duration, error) {
 	start := m.Engine.Now()
 	deadline := start.Add(m.Config.MaxSimulatedTime)

@@ -5,6 +5,8 @@
 // executes software threads provided by the exec package, translates their
 // addresses through an optional MMU, services page faults through the kernel,
 // and accepts interrupts raised on behalf of MTTOP cores by the MIFD.
+//
+//ccsvm:deterministic
 package cpu
 
 import (
@@ -153,6 +155,8 @@ func (c *Core) Run(t *exec.Thread, onExit func()) {
 // from engine context (an event callback), never from workload code: a
 // workload goroutine calling it would re-enter step and deadlock against the
 // engine's own blocked Thread.Next (see step's serialization comment).
+//
+//ccsvm:enginectx
 func (c *Core) RaiseInterrupt(i Interrupt) {
 	c.interrupts = append(c.interrupts, i)
 	c.step()
@@ -269,6 +273,8 @@ func (c *Core) completeOp(t *exec.Thread, r exec.Result) {
 // memAccess translates and performs the in-flight memory operation (c.op),
 // handling page faults locally (this is a CPU core: faults trap straight
 // into the kernel, then retryMemFn reissues the op).
+//
+//ccsvm:hotpath
 func (c *Core) memAccess() {
 	if c.mmu == nil {
 		c.access(mem.PAddr(c.op.Addr))
@@ -294,6 +300,8 @@ func (c *Core) ServicePageFault(fault *vm.Fault, resume func()) {
 
 // access performs the timed cache access for c.op; the prebound accessCb
 // applies the functional data movement at completion time.
+//
+//ccsvm:hotpath
 func (c *Core) access(pa mem.PAddr) {
 	var typ mem.AccessType
 	switch c.op.Kind {

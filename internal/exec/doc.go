@@ -8,4 +8,6 @@
 //
 // This is the same execution-driven style the paper's gem5 evaluation uses,
 // with Go functions standing in for the x86/Alpha-like binaries.
+//
+//ccsvm:deterministic
 package exec

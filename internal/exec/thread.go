@@ -87,6 +87,8 @@ type Thread struct {
 
 // NewThread creates a software thread that will run fn. The id is exposed to
 // the workload through Context.ThreadID.
+//
+//ccsvm:threadentry
 func NewThread(id int, name string, fn func(*Context)) *Thread {
 	return &Thread{
 		id:      id,
@@ -119,6 +121,8 @@ func (t *Thread) Start() {
 }
 
 // launch spawns the workload goroutine (on the first Next after Start).
+//
+//ccsvm:launchpath
 func (t *Thread) launch() {
 	t.launched = true
 	ctx := &Context{thread: t}

@@ -1,0 +1,25 @@
+package lint
+
+import (
+	"ccsvm/internal/lint/analysis"
+)
+
+// Directives validates the //ccsvm: annotation vocabulary itself: unknown
+// directive names, malformed arguments, and directives attached to the wrong
+// kind of declaration (a type, a value, a struct field) are errors. The other
+// analyzers ignore malformed directives entirely, so without this check a
+// typo like //ccsvm:pooled-get would silently disable enforcement; with it,
+// the typo fails the build.
+var Directives = &analysis.Analyzer{
+	Name: "ccsvmdirective",
+	Doc:  "report unknown, malformed or misplaced //ccsvm: directives",
+	Run:  runDirectives,
+}
+
+func runDirectives(pass *analysis.Pass) (any, error) {
+	ann := ParseAnnotations(pass.Fset, pass.Files, pass.TypesInfo)
+	for _, e := range ann.Errors {
+		pass.Reportf(e.Pos, "%s", e.Msg)
+	}
+	return nil, nil
+}

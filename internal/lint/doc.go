@@ -1,0 +1,26 @@
+// Package lint is the ccsvm static-analysis suite: compile-time enforcement
+// of the three invariants the simulator's correctness rests on, which until
+// this package existed lived only in prose and runtime stress tests.
+//
+// The suite contains four analyzers plus a directive validator, all driven by
+// //ccsvm: annotations in the source (see ARCHITECTURE.md "Static
+// enforcement" for the contributor-facing description):
+//
+//   - determinism: packages annotated //ccsvm:deterministic must not read the
+//     wall clock, use the global math/rand source, launch goroutines outside
+//     the blessed launch path, or iterate maps with order-sensitive bodies.
+//   - poolownership: objects obtained from //ccsvm:pooled get sources must be
+//     released or transferred on every path, and never released twice.
+//   - enginectx: functions annotated //ccsvm:enginectx must not be reachable
+//     from workload-goroutine entry points (arguments of //ccsvm:threadentry
+//     APIs); calling them from a workload deadlocks the machine.
+//   - hotpath: functions annotated //ccsvm:hotpath must not pass capturing
+//     closures to the engine's At/Schedule family (the closure-free
+//     contract that keeps the hot paths allocation-free).
+//   - ccsvmdirective: malformed, unknown or misplaced //ccsvm: directives are
+//     errors, so the vocabulary cannot silently rot.
+//
+// cmd/ccsvm-lint runs the suite over the repository and is wired into CI; the
+// analyzers are built on the stdlib-only framework in internal/lint/analysis
+// and the loader in internal/lint/load.
+package lint

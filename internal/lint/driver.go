@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+
+	"ccsvm/internal/lint/analysis"
+	"ccsvm/internal/lint/load"
+)
+
+// Finding is one diagnostic produced by a suite run, resolved to a source
+// position and tagged with the analyzer that produced it.
+type Finding struct {
+	// Analyzer names the originating analyzer.
+	Analyzer string
+	// Pos is the resolved source position.
+	Pos token.Position
+	// Message is the diagnostic text.
+	Message string
+}
+
+// Run executes the given analyzers over packages that must be in dependency
+// order (as returned by load.Load), so that facts exported on an imported
+// package are visible when its importers are analyzed. Findings are returned
+// sorted by file, line and column.
+func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	facts := analysis.NewFactStore()
+	var findings []Finding
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			report := func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info, facts, report)
+			if _, err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ccsvm/internal/lint/analysis"
+)
+
+// EngineCtx enforces the engine-context contract: functions annotated
+// //ccsvm:enginectx (cpu.Core.RaiseInterrupt, the engine's scheduling API)
+// may only run in engine context — an event callback or machine-build code —
+// because they re-enter the core's step loop or mutate the event queue, and
+// doing either from a workload goroutine deadlocks against the engine's own
+// blocked Thread.Next (the PR 4 interrupt-interleaving bug, promoted from a
+// postmortem note to a compile-time check). The analyzer builds a static call
+// graph and reports any chain from a workload-goroutine entry point — a
+// function value passed to a //ccsvm:threadentry API such as exec.NewThread —
+// to an enginectx function.
+var EngineCtx = &analysis.Analyzer{
+	Name: "enginectx",
+	Doc: "forbid calls to //ccsvm:enginectx functions from workload-goroutine bodies\n" +
+		"(function values passed to //ccsvm:threadentry APIs)",
+	Run: runEngineCtx,
+}
+
+// engineCtxFact marks an enginectx-annotated function for importers.
+type engineCtxFact struct{}
+
+// AFact implements analysis.Fact.
+func (*engineCtxFact) AFact() {}
+
+// threadEntryFact marks a threadentry-annotated API for importers.
+type threadEntryFact struct{}
+
+// AFact implements analysis.Fact.
+func (*threadEntryFact) AFact() {}
+
+// calleeEdge is one static call: the resolved callee and the call position.
+type calleeEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// calleesFact records a declared function's outgoing static calls, so the
+// reachability walk can cross package boundaries through the fact store.
+type calleesFact struct {
+	// Edges are the function's resolved outgoing calls.
+	Edges []calleeEdge
+}
+
+// AFact implements analysis.Fact.
+func (*calleesFact) AFact() {}
+
+func runEngineCtx(pass *analysis.Pass) (any, error) {
+	ann := ParseAnnotations(pass.Fset, pass.Files, pass.TypesInfo)
+	ec := &engineCtxChecker{pass: pass, ann: ann, local: make(map[*types.Func][]calleeEdge)}
+
+	// Export annotation facts so importing packages see them.
+	for obj, dirs := range ann.ByObj {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		for _, d := range dirs {
+			switch d.Kind {
+			case DirEngineCtx:
+				pass.ExportObjectFact(fn, &engineCtxFact{})
+			case DirThreadEntry:
+				pass.ExportObjectFact(fn, &threadEntryFact{})
+			}
+		}
+	}
+
+	// Build this package's call graph. Function literals fold into their
+	// enclosing declared function: if the function can run, the literal may
+	// run in the same context.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ec.local[fn] = ec.collectEdges(fd.Body)
+		}
+	}
+	for fn, edges := range ec.local {
+		pass.ExportObjectFact(fn, &calleesFact{Edges: edges})
+	}
+
+	// Find workload entry roots in this package and walk from each.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := ec.staticCallee(call)
+			if callee == nil || !ec.isThreadEntry(callee) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ec.checkEntryArg(arg)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type engineCtxChecker struct {
+	pass  *analysis.Pass
+	ann   *Annotations
+	local map[*types.Func][]calleeEdge
+}
+
+// staticCallee resolves a call to its statically-known *types.Func, or nil
+// for dynamic calls (function values, builtins, conversions).
+func (ec *engineCtxChecker) staticCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := ec.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func (ec *engineCtxChecker) isThreadEntry(fn *types.Func) bool {
+	if ec.ann.Has(fn, DirThreadEntry) {
+		return true
+	}
+	var fact threadEntryFact
+	return ec.pass.ImportObjectFact(fn, &fact)
+}
+
+func (ec *engineCtxChecker) isEngineCtx(fn *types.Func) bool {
+	if ec.ann.Has(fn, DirEngineCtx) {
+		return true
+	}
+	var fact engineCtxFact
+	return ec.pass.ImportObjectFact(fn, &fact)
+}
+
+// collectEdges gathers the resolved static calls of one body, descending into
+// nested function literals.
+func (ec *engineCtxChecker) collectEdges(body ast.Node) []calleeEdge {
+	var edges []calleeEdge
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := ec.staticCallee(call); fn != nil {
+				edges = append(edges, calleeEdge{Callee: fn, Pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return edges
+}
+
+// edgesOf returns a function's outgoing calls: from this package's graph, or
+// from the facts of an already-analyzed dependency.
+func (ec *engineCtxChecker) edgesOf(fn *types.Func) []calleeEdge {
+	if edges, ok := ec.local[fn]; ok {
+		return edges
+	}
+	var fact calleesFact
+	if ec.pass.ImportObjectFact(fn, &fact) {
+		return fact.Edges
+	}
+	return nil
+}
+
+// checkEntryArg treats every function value inside one argument of a
+// threadentry call as a workload-goroutine body and walks the call graph from
+// it: function literals (including ones nested in composite literals) and
+// references to declared functions.
+func (ec *engineCtxChecker) checkEntryArg(arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ec.walkFrom(n.Pos(), "workload thread body", ec.collectEdges(n.Body))
+			return false
+		case *ast.Ident:
+			if fn, ok := ec.pass.TypesInfo.Uses[n].(*types.Func); ok {
+				ec.walkFrom(n.Pos(), fn.Name(), ec.edgesOf(fn))
+			}
+		}
+		return true
+	})
+}
+
+// walkFrom runs a breadth-first reachability walk from a workload entry's
+// edges, reporting the first chain to each distinct enginectx function.
+func (ec *engineCtxChecker) walkFrom(root token.Pos, rootName string, edges []calleeEdge) {
+	type item struct {
+		fn    *types.Func
+		chain []string
+	}
+	visited := make(map[*types.Func]bool)
+	queue := make([]item, 0, len(edges))
+	for _, e := range edges {
+		queue = append(queue, item{e.Callee, []string{funcName(e.Callee)}})
+	}
+	reported := make(map[*types.Func]bool)
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if visited[it.fn] {
+			continue
+		}
+		visited[it.fn] = true
+		if ec.isEngineCtx(it.fn) && !reported[it.fn] {
+			reported[it.fn] = true
+			ec.pass.Reportf(root,
+				"%s reaches engine-context-only function %s (ccsvm:enginectx) via %s; "+
+					"calling it from a workload goroutine deadlocks against the engine",
+				rootName, funcName(it.fn), strings.Join(it.chain, " -> "))
+			continue
+		}
+		for _, e := range ec.edgesOf(it.fn) {
+			if !visited[e.Callee] {
+				chain := append(append([]string{}, it.chain...), funcName(e.Callee))
+				queue = append(queue, item{e.Callee, chain})
+			}
+		}
+	}
+}
+
+// funcName renders a function for diagnostics, with its receiver type when it
+// is a method.
+func funcName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.%s", named.Obj().Name(), fn.Name())
+		}
+	}
+	return fn.Name()
+}

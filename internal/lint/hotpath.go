@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ccsvm/internal/lint/analysis"
+)
+
+// HotPath enforces the closure-free scheduling contract on functions
+// annotated //ccsvm:hotpath: they must not pass capturing closures to the
+// engine's At/Schedule family. A capturing closure allocates on every call,
+// which is exactly the per-event garbage the PR 3 pooling work removed from
+// the dispatch path (96-97% fewer allocs/op); the contract is to bind a
+// callback once at construction time and schedule it with AtArg/ScheduleArg,
+// carrying the per-event state in the argument.
+var HotPath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "forbid capturing closures passed to the engine's At/Schedule family inside\n" +
+		"functions annotated //ccsvm:hotpath",
+	Run: runHotPath,
+}
+
+// scheduleMethods are the event-scheduling entry points of sim.Engine.
+var scheduleMethods = map[string]bool{
+	"At": true, "AtArg": true, "Schedule": true, "ScheduleArg": true,
+}
+
+func runHotPath(pass *analysis.Pass) (any, error) {
+	ann := ParseAnnotations(pass.Fset, pass.Files, pass.TypesInfo)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !ann.Has(pass.TypesInfo.Defs[fd.Name], DirHotPath) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isEngineSchedule(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			captured := capturedVars(pass, lit)
+			if len(captured) == 0 {
+				continue
+			}
+			method := ast.Unparen(call.Fun).(*ast.SelectorExpr).Sel.Name
+			pass.Reportf(lit.Pos(), "hot path %s passes a capturing closure to %s "+
+				"(captures %s); bind the callback once and carry state through %sArg",
+				fd.Name.Name, method, strings.Join(captured, ", "),
+				strings.TrimSuffix(method, "Arg"))
+		}
+		return true
+	})
+}
+
+// isEngineSchedule reports whether the call is sim.Engine.At/AtArg/Schedule/
+// ScheduleArg. The receiver is matched by type name (Engine in a package
+// named sim) rather than import path, so the check works identically on the
+// real engine and on the linttest fixtures.
+func isEngineSchedule(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !scheduleMethods[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// capturedVars returns the names of local variables of the enclosing function
+// that the literal captures (references to objects declared outside the
+// literal but below package scope). A literal that captures nothing compiles
+// to a static function value and is allowed on hot paths.
+func capturedVars(pass *analysis.Pass, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own parameters and locals
+		}
+		if v.Parent() == pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true // package-level variables are not captures
+		}
+		if v.Pkg() != pass.Pkg {
+			return true
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

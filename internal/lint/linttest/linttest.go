@@ -1,0 +1,118 @@
+// Package linttest is a small analysistest-style harness for the ccsvm lint
+// suite: it loads golden packages from a testdata/src tree, runs one analyzer
+// over them, and checks the produced diagnostics against // want "regexp"
+// comments in the fixtures. It mirrors golang.org/x/tools/go/analysis/
+// analysistest closely enough that the fixtures would work under the real
+// harness unchanged.
+package linttest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ccsvm/internal/lint"
+	"ccsvm/internal/lint/analysis"
+	"ccsvm/internal/lint/load"
+)
+
+// wantRE matches one // want comment; quoted regexps follow it.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE matches one Go-quoted string.
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads the named packages (directories under dir/testdata/src), runs the
+// analyzer over them and their intra-testdata dependencies, and reports any
+// mismatch between produced diagnostics and // want expectations as test
+// errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root := filepath.Join(dir, "testdata", "src")
+	loader := load.New(load.Config{Root: root})
+	loaded, err := loader.Load(pkgs...)
+	if err != nil {
+		t.Fatalf("loading %v from %s: %v", pkgs, root, err)
+	}
+	findings, err := lint.Run(loader.Fset(), loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, loader.Fset(), loaded)
+	matchedWant := make(map[*want]bool)
+	for _, f := range findings {
+		key := posKey{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !matchedWant[w] && w.re.MatchString(f.Message) {
+				matchedWant[w] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !matchedWant[w] {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+// collectWants scans every fixture file for // want comments. The expectation
+// applies to the line the comment sits on.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) map[posKey][]*want {
+	t.Helper()
+	wants := make(map[posKey][]*want)
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			name := fset.Position(file.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", name, i+1, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, pat, err)
+					}
+					key := posKey{name, i + 1}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

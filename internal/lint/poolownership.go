@@ -1,0 +1,497 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ccsvm/internal/lint/analysis"
+)
+
+// PoolOwnership enforces the explicit receiver-release ownership contract of
+// the pooled hot-path objects (coherence.Msg, sim.Event, noc.Message): a
+// value obtained from a //ccsvm:pooled get source must, on every path through
+// the function that obtained it, either be released through a //ccsvm:pooled
+// put function or transferred away (passed to a call, returned, stored, or
+// captured) — and must never be released twice in straight-line code. Leaked
+// and double-released messages are exactly the bug class the runtime pool
+// accounting (coherence.SumPoolStats, Engine.LiveEvents) catches only after a
+// stress soak; this analyzer catches the obvious cases at compile time.
+var PoolOwnership = &analysis.Analyzer{
+	Name: "poolownership",
+	Doc: "require pooled objects from //ccsvm:pooled get sources to be released or\n" +
+		"transferred on every path, and flag syntactic double releases",
+	Run: runPoolOwnership,
+}
+
+// pooledFact marks a function as a pool endpoint for importing packages.
+type pooledFact struct {
+	// Arg is "get" or "put".
+	Arg string
+}
+
+// AFact implements analysis.Fact.
+func (*pooledFact) AFact() {}
+
+func runPoolOwnership(pass *analysis.Pass) (any, error) {
+	ann := ParseAnnotations(pass.Fset, pass.Files, pass.TypesInfo)
+	for obj, dirs := range ann.ByObj {
+		for _, d := range dirs {
+			if d.Kind == DirPooled && obj != nil {
+				pass.ExportObjectFact(obj, &pooledFact{Arg: d.Arg})
+			}
+		}
+	}
+	po := &poolChecker{pass: pass, ann: ann}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				po.checkBody(fn.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type poolChecker struct {
+	pass *analysis.Pass
+	ann  *Annotations
+}
+
+// pooledArgOf resolves a call's static callee and returns its pooled
+// directive argument ("get", "put", or "" for unannotated callees).
+func (po *poolChecker) pooledArgOf(call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	obj, ok := po.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return ""
+	}
+	if arg := po.ann.PooledArg(obj); arg != "" {
+		return arg
+	}
+	var fact pooledFact
+	if po.pass.ImportObjectFact(obj, &fact) {
+		return fact.Arg
+	}
+	return ""
+}
+
+// checkBody analyzes one function (or function literal) body. Nested literals
+// are checked independently: a pooled object obtained inside a closure must be
+// handled inside that closure.
+func (po *poolChecker) checkBody(body *ast.BlockStmt) {
+	po.checkList(body.List)
+	// Recurse into nested function literals as independent bodies.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			po.checkBody(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkList scans one statement list: it finds get-call bindings and runs the
+// every-path consumption analysis from the binding point, flags dropped get
+// results, tracks straight-line double releases, and recurses into nested
+// statement lists.
+func (po *poolChecker) checkList(stmts []ast.Stmt) {
+	released := make(map[types.Object]ast.Node) // straight-line release state
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				switch po.pooledArgOf(call) {
+				case "get":
+					po.pass.Reportf(call.Pos(), "result of pooled get %s is dropped; the object leaks",
+						exprString(call.Fun))
+				case "put":
+					if obj := po.releasedObj(call); obj != nil {
+						if prev, ok := released[obj]; ok {
+							po.pass.Reportf(call.Pos(),
+								"double release of %s (already released at %s)",
+								obj.Name(), po.pass.Fset.Position(prev.Pos()))
+						} else {
+							released[obj] = call
+						}
+						continue
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// A fresh binding or reassignment resets the release state and, for
+			// get calls, starts the ownership analysis.
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := po.defOrUse(id); obj != nil {
+						delete(released, obj)
+					}
+				}
+			}
+			if len(s.Rhs) == 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && po.pooledArgOf(call) == "get" {
+					po.checkBinding(s, call, stmts[i+1:])
+				}
+			}
+		}
+		// Any other mention of a released object is ignored for double-release
+		// purposes (the dynamic pool accounting still covers those paths).
+		po.checkNested(s)
+	}
+}
+
+// checkNested recurses into the statement lists contained in one statement,
+// without crossing into function literals (handled by checkBody).
+func (po *poolChecker) checkNested(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		po.checkList(s.List)
+	case *ast.IfStmt:
+		po.checkList(s.Body.List)
+		if s.Else != nil {
+			po.checkNested(s.Else)
+		}
+	case *ast.ForStmt:
+		po.checkList(s.Body.List)
+	case *ast.RangeStmt:
+		po.checkList(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				po.checkList(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				po.checkList(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				po.checkList(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		po.checkNested(s.Stmt)
+	}
+}
+
+// releasedObj returns the object being released by a put call: the single
+// identifier argument, or the receiver of a put method called on the object
+// itself.
+func (po *poolChecker) releasedObj(call *ast.CallExpr) types.Object {
+	if len(call.Args) == 1 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			return po.pass.TypesInfo.Uses[id]
+		}
+	}
+	if len(call.Args) == 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				return po.pass.TypesInfo.Uses[id]
+			}
+		}
+	}
+	return nil
+}
+
+func (po *poolChecker) defOrUse(id *ast.Ident) types.Object {
+	if obj := po.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return po.pass.TypesInfo.Uses[id]
+}
+
+// checkBinding analyzes one `x := pool.Get(...)` binding: x must be consumed
+// (released or transferred) on every path from here to function exit.
+func (po *poolChecker) checkBinding(assign *ast.AssignStmt, call *ast.CallExpr, rest []ast.Stmt) {
+	if len(assign.Lhs) != 1 {
+		return // pools hand out single values; multi-assign is out of scope
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		po.pass.Reportf(call.Pos(), "result of pooled get %s is dropped; the object leaks",
+			exprString(call.Fun))
+		return
+	}
+	obj := po.defOrUse(id)
+	if obj == nil {
+		return
+	}
+	if !po.mentioned(rest, obj) {
+		po.pass.Reportf(assign.Pos(), "pooled object %s is never released or transferred "+
+			"after this get; it leaks", obj.Name())
+		return
+	}
+	if !po.allPathsConsume(rest, obj, false) {
+		po.pass.Reportf(assign.Pos(), "pooled object %s may leak: it is not released or "+
+			"transferred on every path to function exit", obj.Name())
+	}
+}
+
+// mentioned reports whether obj appears anywhere in the statements.
+func (po *poolChecker) mentioned(stmts []ast.Stmt, obj types.Object) bool {
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && po.pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// allPathsConsume reports whether every path from the start of stmts to
+// function exit consumes obj. after is the verdict for falling off the end of
+// the list (the continuation's verdict).
+func (po *poolChecker) allPathsConsume(stmts []ast.Stmt, obj types.Object, after bool) bool {
+	if len(stmts) == 0 {
+		return after
+	}
+	s, rest := stmts[0], stmts[1:]
+	restOK := func() bool { return po.allPathsConsume(rest, obj, after) }
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return po.consumes(s, obj)
+	case *ast.IfStmt:
+		if s.Init != nil && po.consumes(s.Init, obj) {
+			return true
+		}
+		if po.consumesExpr(s.Cond, obj) {
+			return true
+		}
+		r := restOK()
+		thenOK := po.allPathsConsume(s.Body.List, obj, r)
+		elseOK := r
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseOK = po.allPathsConsume(e.List, obj, r)
+			case *ast.IfStmt:
+				elseOK = po.allPathsConsume([]ast.Stmt{e}, obj, r)
+			}
+		}
+		return thenOK && elseOK
+	case *ast.BlockStmt:
+		return po.allPathsConsume(s.List, obj, restOK())
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses [][]ast.Stmt
+		hasDefault := false
+		body := switchBody(s)
+		for _, c := range body {
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				clauses = append(clauses, cc.Body)
+				if cc.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				clauses = append(clauses, cc.Body)
+				if cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+		}
+		r := restOK()
+		all := true
+		for _, body := range clauses {
+			if !po.allPathsConsume(body, obj, r) {
+				all = false
+			}
+		}
+		if _, isSelect := s.(*ast.SelectStmt); isSelect {
+			hasDefault = true // a select blocks until some clause runs
+		}
+		if !hasDefault {
+			return all && r
+		}
+		return all
+	case *ast.ForStmt, *ast.RangeStmt:
+		// Loops may run zero times, so a guarantee cannot come from the body
+		// alone; but in practice a loop that mentions the object consumingly is
+		// a retry/flush loop that runs at least once. Treat it as consuming to
+		// keep false positives out of real code.
+		if po.consumes(s, obj) {
+			return true
+		}
+		return restOK()
+	case *ast.LabeledStmt:
+		return po.allPathsConsume(append([]ast.Stmt{s.Stmt}, rest...), obj, after)
+	case *ast.ExprStmt:
+		if isPanicCall(po.pass, s.X) {
+			return true // panic exits; leaking on a crash path is acceptable
+		}
+		if po.consumes(s, obj) {
+			return true
+		}
+		return restOK()
+	case *ast.BranchStmt:
+		// break/continue/goto leave this list; be conservative and require the
+		// surrounding continuation to consume.
+		return after
+	default:
+		if po.consumes(s, obj) {
+			return true
+		}
+		return restOK()
+	}
+}
+
+func switchBody(s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		return s.Body.List
+	case *ast.TypeSwitchStmt:
+		return s.Body.List
+	case *ast.SelectStmt:
+		return s.Body.List
+	}
+	return nil
+}
+
+func isPanicCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// consumes reports whether the statement (without descending into nested
+// statement bodies, which the path analysis handles structurally) contains a
+// consuming use of obj.
+func (po *poolChecker) consumes(n ast.Node, obj types.Object) bool {
+	found := false
+	var visit func(n ast.Node, parents []ast.Node)
+	visit = func(n ast.Node, parents []ast.Node) {
+		if n == nil || found {
+			return
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if po.pass.TypesInfo.Uses[id] == obj && po.isConsumingContext(parents, id) {
+				found = true
+			}
+			return
+		}
+		parents = append(parents, n)
+		for _, c := range childrenOf(n) {
+			visit(c, parents)
+		}
+	}
+	visit(n, nil)
+	return found
+}
+
+func (po *poolChecker) consumesExpr(e ast.Expr, obj types.Object) bool {
+	if e == nil {
+		return false
+	}
+	return po.consumes(e, obj)
+}
+
+// isConsumingContext classifies one use of the tracked object by its
+// enclosing syntax: transfers of ownership (call arguments, returns, stores,
+// channel sends, address-taking, closure capture) count; pure reads
+// (conditions, field reads on the left of a field write) do not.
+func (po *poolChecker) isConsumingContext(parents []ast.Node, id *ast.Ident) bool {
+	var child ast.Node = id
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if containsNode(arg, child) {
+					return true
+				}
+			}
+			// Receiver of a put method (msg.Release() style).
+			if sel, ok := ast.Unparen(p.Fun).(*ast.SelectorExpr); ok &&
+				containsNode(sel.X, child) && po.pooledArgOf(p) == "put" {
+				return true
+			}
+			return false
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CompositeLit:
+			return true
+		case *ast.SendStmt:
+			return true
+		case *ast.GoStmt, *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			return true // captured; the closure owns it now
+		case *ast.UnaryExpr:
+			if p.Op.String() == "&" {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range p.Rhs {
+				if containsNode(rhs, child) {
+					return true // aliased into another variable or location
+				}
+			}
+			return false
+		case *ast.KeyValueExpr, *ast.IndexExpr, *ast.SelectorExpr, *ast.ParenExpr,
+			*ast.StarExpr, *ast.BinaryExpr, *ast.TypeAssertExpr, *ast.SliceExpr:
+			// Keep walking up through expression wrappers.
+		default:
+			return false
+		}
+		child = parents[i]
+	}
+	return false
+}
+
+// containsNode reports whether root's subtree contains target (by identity).
+func containsNode(root, target ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// childrenOf returns the direct child nodes of n, used by the context-aware
+// walker to maintain an accurate parent stack.
+func childrenOf(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,46 @@
+// Package ectx exercises the enginectx analyzer: workload bodies passed to
+// the threadentry API must not reach the engine-context-only call, directly
+// or transitively.
+package ectx
+
+import (
+	"ectxapi"
+)
+
+// helper reaches the engine-context-only API through one hop.
+func helper() {
+	ectxapi.RaiseInterrupt()
+}
+
+// compute is engine-free.
+func compute() int {
+	return 42
+}
+
+// body calls the forbidden API directly.
+func body() {
+	ectxapi.RaiseInterrupt()
+}
+
+// Bad passes a closure that transitively reaches RaiseInterrupt.
+func Bad() {
+	ectxapi.NewThread(func() { // want "reaches engine-context-only function RaiseInterrupt"
+		helper()
+	})
+}
+
+// BadNamed passes a named function that reaches it directly.
+func BadNamed() {
+	ectxapi.NewThread(body) // want "body reaches engine-context-only function RaiseInterrupt"
+}
+
+// Good passes an engine-free body, and hands an interrupt-raising callback to
+// Defer, which is not a thread entry: engine-context callbacks may raise.
+func Good() {
+	ectxapi.NewThread(func() {
+		_ = compute()
+	})
+	ectxapi.Defer(func() {
+		helper()
+	})
+}

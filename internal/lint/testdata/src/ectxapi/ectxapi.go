@@ -1,0 +1,22 @@
+// Package ectxapi models the engine/thread API surface for the enginectx
+// fixtures: a thread-entry registration API and an engine-context-only call,
+// in a separate package so the test exercises cross-package fact flow.
+package ectxapi
+
+// NewThread registers fn as the body of a workload goroutine.
+//
+//ccsvm:threadentry
+func NewThread(fn func()) {
+	fn()
+}
+
+// RaiseInterrupt may only be called in engine context.
+//
+//ccsvm:enginectx
+func RaiseInterrupt() {}
+
+// Defer is an ordinary callback API; its arguments run in engine context, so
+// they are not workload bodies.
+func Defer(fn func()) {
+	fn()
+}

@@ -1,0 +1,57 @@
+// Package hot exercises the hotpath analyzer against the fixture sim.Engine:
+// capturing closures passed to the At/Schedule family are flagged only inside
+// //ccsvm:hotpath functions.
+package hot
+
+import (
+	"sim"
+)
+
+// Ctrl is a controller with a prebound callback, the pattern the contract
+// asks for.
+type Ctrl struct {
+	eng  *sim.Engine
+	n    int
+	step func(any)
+}
+
+// Hot is annotated hot-path and passes a capturing closure.
+//
+//ccsvm:hotpath
+func Hot(e *sim.Engine, n int) {
+	e.Schedule(1, func() { // want "capturing closure"
+		use(n)
+	})
+}
+
+// Recv captures its receiver in an At callback.
+//
+//ccsvm:hotpath
+func (c *Ctrl) Recv() {
+	c.eng.At(0, func() { // want "captures c"
+		c.n++
+	})
+}
+
+// HotClean schedules a named function, a prebound callback, and a
+// non-capturing literal: all allowed on the hot path.
+//
+//ccsvm:hotpath
+func (c *Ctrl) HotClean() {
+	c.eng.Schedule(1, tick)
+	c.eng.ScheduleArg(2, c.step, c)
+	c.eng.At(3, func() {
+		use(0)
+	})
+}
+
+// Cold is not annotated; capturing closures are allowed off the hot path.
+func Cold(e *sim.Engine, n int) {
+	e.Schedule(1, func() {
+		use(n)
+	})
+}
+
+func use(int) {}
+
+func tick() {}

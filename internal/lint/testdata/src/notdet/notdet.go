@@ -1,0 +1,14 @@
+// Package notdet is not annotated deterministic; the determinism analyzer
+// must skip it entirely even though it does everything wrong.
+package notdet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wallclock would be flagged in a deterministic package.
+func Wallclock() (time.Time, int) {
+	go func() {}()
+	return time.Now(), rand.Int()
+}

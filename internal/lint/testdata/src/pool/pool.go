@@ -1,0 +1,96 @@
+// Package pool exercises the poolownership analyzer: leaked, dropped and
+// double-released pooled objects are flagged; release-on-every-path and
+// ownership transfer are not.
+package pool
+
+// Msg is the pooled object.
+type Msg struct {
+	ID   int
+	live bool
+}
+
+// Pool recycles Msgs.
+type Pool struct {
+	free []*Msg
+}
+
+// Get hands out a pooled Msg; the caller owns it.
+//
+//ccsvm:pooled get
+func (p *Pool) Get() *Msg {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Msg{}
+}
+
+// Put returns a Msg to the pool.
+//
+//ccsvm:pooled put
+func (p *Pool) Put(m *Msg) {
+	p.free = append(p.free, m)
+}
+
+// sink keeps the leaked Msg reachable so Leak compiles.
+var sink *Msg
+
+// Leak binds a Msg and never releases or transfers it afterwards.
+func Leak(p *Pool) {
+	sink = p.Get() // want "never released or transferred"
+}
+
+// Drop discards the pooled result outright.
+func Drop(p *Pool) {
+	p.Get() // want "dropped"
+}
+
+// DropBlank discards it via the blank identifier.
+func DropBlank(p *Pool) {
+	_ = p.Get() // want "dropped"
+}
+
+// BranchLeak releases on one path but not the other.
+func BranchLeak(p *Pool, c bool) {
+	m := p.Get() // want "may leak"
+	if c {
+		p.Put(m)
+	}
+}
+
+// DoubleRelease puts the same Msg back twice.
+func DoubleRelease(p *Pool, m *Msg) {
+	p.Put(m)
+	p.Put(m) // want "double release"
+}
+
+// AllPaths releases on every path and is clean.
+func AllPaths(p *Pool, c bool) {
+	m := p.Get()
+	if c {
+		m.ID++
+		p.Put(m)
+		return
+	}
+	p.Put(m)
+}
+
+// TransferReturn hands ownership to the caller.
+func TransferReturn(p *Pool) *Msg {
+	m := p.Get()
+	m.live = true
+	return m
+}
+
+// TransferSend hands ownership to the channel receiver.
+func TransferSend(p *Pool, ch chan *Msg) {
+	m := p.Get()
+	ch <- m
+}
+
+// TransferCall hands ownership to the callee.
+func TransferCall(p *Pool, deliver func(*Msg)) {
+	m := p.Get()
+	deliver(m)
+}

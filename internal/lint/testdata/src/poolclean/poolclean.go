@@ -1,0 +1,50 @@
+// Package poolclean uses the pooled API correctly in every function, and its
+// pooled sources live behind an interface to exercise interface-method
+// annotations.
+package poolclean
+
+// Buf is the pooled object.
+type Buf struct {
+	n int
+}
+
+// Source is any allocator of pooled Bufs.
+type Source interface {
+	// Acquire hands out a pooled Buf; the caller owns it.
+	//
+	//ccsvm:pooled get
+	Acquire() *Buf
+
+	// Release returns a Buf to the pool.
+	//
+	//ccsvm:pooled put
+	Release(b *Buf)
+}
+
+// Use acquires, works, and releases on the single path.
+func Use(s Source) int {
+	b := s.Acquire()
+	b.n++
+	n := b.n
+	s.Release(b)
+	return n
+}
+
+// Forward transfers ownership to the callee on every path.
+func Forward(s Source, sink func(*Buf)) {
+	b := s.Acquire()
+	if b.n > 0 {
+		sink(b)
+		return
+	}
+	sink(b)
+}
+
+// Loop releases inside the loop body that consumed it.
+func Loop(s Source, rounds int) {
+	for i := 0; i < rounds; i++ {
+		b := s.Acquire()
+		b.n = i
+		s.Release(b)
+	}
+}

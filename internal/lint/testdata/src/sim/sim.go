@@ -1,0 +1,46 @@
+// Package sim models the engine scheduling API for the hotpath fixtures; the
+// analyzer matches the receiver type Engine in a package named sim, so these
+// methods stand in for the real engine.
+package sim
+
+// Time is a simulated timestamp.
+type Time int64
+
+// Duration is a simulated time delta.
+type Duration int64
+
+// Event is a scheduled callback.
+type Event struct {
+	when Time
+}
+
+// Engine is the event-driven core.
+type Engine struct {
+	now Time
+}
+
+// At schedules fn at an absolute time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	_ = fn
+	return &Event{when: t}
+}
+
+// AtArg schedules fn(arg) at an absolute time without capturing.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
+	_ = fn
+	_ = arg
+	return &Event{when: t}
+}
+
+// Schedule schedules fn after a delta.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	_ = fn
+	return &Event{when: e.now + Time(d)}
+}
+
+// ScheduleArg schedules fn(arg) after a delta.
+func (e *Engine) ScheduleArg(d Duration, fn func(any), arg any) *Event {
+	_ = fn
+	_ = arg
+	return &Event{when: e.now + Time(d)}
+}

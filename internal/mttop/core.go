@@ -153,6 +153,8 @@ func (c *Core) StartThread(t *exec.Thread, cr3 mem.PAddr, onDone func()) {
 func (c *Core) BusyContexts() int { return c.cfg.NumContexts - len(c.free) }
 
 // stepContext pulls and executes the next operation of one context's thread.
+//
+//ccsvm:hotpath
 func (c *Core) stepContext(h *hwContext) {
 	if h.busy || h.thread == nil {
 		return
@@ -255,6 +257,8 @@ func (c *Core) translated(h *hwContext, pa mem.PAddr, fault *vm.Fault) {
 
 // issueToPort performs the timed cache access and the functional data
 // movement at completion time.
+//
+//ccsvm:hotpath
 func (c *Core) issueToPort(h *hwContext, pa mem.PAddr) {
 	var typ mem.AccessType
 	switch h.op.Kind {

@@ -8,4 +8,6 @@
 // shared issue-bandwidth limit (see DESIGN.md); this preserves the peak
 // throughput of 8 operations per cycle per core and the memory-system
 // behaviour the evaluation measures.
+//
+//ccsvm:deterministic
 package mttop

@@ -51,6 +51,8 @@ func NewCrossbar(engine *sim.Engine, cfg CrossbarConfig, reg *stats.Registry, na
 }
 
 // NewMessage implements Network.
+//
+//ccsvm:pooled get
 func (x *Crossbar) NewMessage() *Message { return x.pool.get() }
 
 // Attach implements Network.
@@ -62,6 +64,8 @@ func (x *Crossbar) Attach(id NodeID, r Receiver) {
 }
 
 // Send implements Network.
+//
+//ccsvm:hotpath
 func (x *Crossbar) Send(msg *Message) {
 	x.msgs.Inc()
 	x.bytes.Add(uint64(msg.SizeBytes))
@@ -79,6 +83,8 @@ func (x *Crossbar) Send(msg *Message) {
 	x.engine.AtArg(arrive, x.deliverFn, msg)
 }
 
+//
+//ccsvm:hotpath
 func (x *Crossbar) deliver(msg *Message) {
 	r, ok := x.receivers[msg.Dst]
 	if !ok {

@@ -3,4 +3,6 @@
 // per-link serialization at the configured link bandwidth (12 GB/s in the
 // paper's Table 2). The same package also provides a simple crossbar used by
 // the APU baseline model.
+//
+//ccsvm:deterministic
 package noc

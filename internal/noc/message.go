@@ -52,6 +52,8 @@ type msgPool struct {
 }
 
 // get returns a zeroed pooled message.
+//
+//ccsvm:pooled get
 func (p *msgPool) get() *Message {
 	if n := len(p.free); n > 0 {
 		m := p.free[n-1]
@@ -64,6 +66,8 @@ func (p *msgPool) get() *Message {
 
 // put recycles a delivered pooled message; caller-constructed messages are
 // left alone.
+//
+//ccsvm:pooled put
 func (p *msgPool) put(m *Message) {
 	if !m.fromPool {
 		return
@@ -92,5 +96,7 @@ type Network interface {
 	// NewMessage returns a message from the network's free list for the hot
 	// send path. The network recycles it after delivery (see Message), so
 	// senders fill it, Send it, and never touch it again.
+	//
+	//ccsvm:pooled get
 	NewMessage() *Message
 }

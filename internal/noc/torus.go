@@ -99,6 +99,7 @@ func NewTorus(engine *sim.Engine, cfg TorusConfig, placement map[NodeID]Coord, r
 		receivers: make(map[NodeID]Receiver),
 		links:     make(map[Coord]*[4]link),
 	}
+	//ccsvm:orderinvariant
 	for id, c := range placement {
 		if c.X < 0 || c.X >= cfg.Width || c.Y < 0 || c.Y >= cfg.Height {
 			panic(fmt.Sprintf("noc: node %d placed at %v outside %dx%d torus", id, c, cfg.Width, cfg.Height))
@@ -120,6 +121,8 @@ func NewTorus(engine *sim.Engine, cfg TorusConfig, placement map[NodeID]Coord, r
 }
 
 // NewMessage implements Network.
+//
+//ccsvm:pooled get
 func (t *Torus) NewMessage() *Message { return t.pool.get() }
 
 // Attach implements Network.
@@ -222,6 +225,8 @@ func (t *Torus) serialization(sizeBytes int) sim.Duration {
 // serialization time, and traverses it in the link latency. The walk state
 // lives on the message, so sending allocates no path slice and each hop
 // schedules without a closure.
+//
+//ccsvm:hotpath
 func (t *Torus) Send(msg *Message) {
 	if msg.SizeBytes <= 0 {
 		panic("noc: message with non-positive size")
@@ -245,6 +250,8 @@ func (t *Torus) Send(msg *Message) {
 // advance moves the message one hop toward its destination (X dimension
 // first, then Y); at the destination router the message is ejected into the
 // endpoint.
+//
+//ccsvm:hotpath
 func (t *Torus) advance(msg *Message) {
 	now := t.engine.Now()
 	if msg.cur == msg.dst {
@@ -274,6 +281,8 @@ func (t *Torus) advance(msg *Message) {
 	t.engine.AtArg(arrive, t.advanceFn, msg)
 }
 
+//
+//ccsvm:hotpath
 func (t *Torus) deliver(msg *Message) {
 	r, ok := t.receivers[msg.Dst]
 	if !ok {

@@ -204,6 +204,9 @@ func fnvMix(h, v uint64) uint64 {
 // eventChunk is how many Event objects one free-list refill allocates.
 const eventChunk = 64
 
+// alloc takes an event from the free list, refilling it a chunk at a time.
+//
+//ccsvm:pooled get
 func (e *Engine) alloc() *Event {
 	e.live++
 	if n := len(e.free); n > 0 {
@@ -223,6 +226,8 @@ func (e *Engine) alloc() *Event {
 }
 
 // release returns a drained event to the free list.
+//
+//ccsvm:pooled put
 func (e *Engine) release(ev *Event) {
 	if ev.index == indexPooled {
 		panic("sim: double release of a pooled event")
