@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test lint fmt bench stress
+.PHONY: build test lint fmt bench stress serve
 
 build:
 	go build ./...
@@ -24,3 +24,8 @@ bench:
 
 stress:
 	go run ./cmd/ccsvm-stress -seed 1 -ops 100000 -preset ccsvm-base
+
+# The HTTP sweep service with a persistent result cache (see README
+# "Serving sweeps").
+serve:
+	go run ./cmd/ccsvm-serve -cache-dir .ccsvm-cache

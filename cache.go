@@ -1,0 +1,23 @@
+package ccsvm
+
+import "ccsvm/internal/resultcache"
+
+// The memoization layer (see ARCHITECTURE.md, "Serving & caching"): because
+// Results are bit-deterministic functions of their RunSpec, a Runner given a
+// Cache serves repeated specs from storage instead of re-simulating. The
+// facade aliases the internal/resultcache types so library users construct
+// and inspect caches without reaching into internal packages.
+type (
+	// Cache is the two-tier (memory LRU + optional persistent directory)
+	// content-addressed Result store, keyed by RunSpec.Hash.
+	Cache = resultcache.Cache
+	// CacheOptions configures NewCache: the LRU capacity and the optional
+	// persistent directory.
+	CacheOptions = resultcache.Options
+	// CacheStats is a snapshot of a cache's hit/miss/byte counters.
+	CacheStats = resultcache.Stats
+)
+
+// NewCache builds a result cache. An empty Dir means memory-only; a named
+// Dir is created and may be shared between concurrent Runners and processes.
+func NewCache(opts CacheOptions) (*Cache, error) { return resultcache.New(opts) }

@@ -1,0 +1,309 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ccsvm/internal/sim"
+	"ccsvm/internal/workloads"
+)
+
+// testKey builds a deterministic key.
+func testKey(b byte) Key {
+	var k Key
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+// testResult builds a Result with every field populated, including awkward
+// metric values (integral floats, tiny fractions) that must survive the
+// round trip bit-for-bit.
+func testResult(i int) workloads.Result {
+	return workloads.Result{
+		Label:        fmt.Sprintf("CCSVM/xthreads-%d", i),
+		Time:         sim.Duration(123456789 + i),
+		DRAMAccesses: uint64(1<<40 + i),
+		Checked:      true,
+		Metrics: map[string]float64{
+			"l1.hit_rate":  0.9999999999999,
+			"noc.messages": 123456,
+			"sim.events":   float64(i) + 0.125,
+		},
+	}
+}
+
+// mustJSON is the byte-identity probe: two Results are byte-identical iff
+// their canonical JSON forms are equal (encoding/json sorts map keys).
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(raw)
+}
+
+// TestMemoryRoundTrip: a stored Result comes back bit-identical, and the
+// returned copy is owned by the caller (mutating it cannot poison the
+// cache).
+func TestMemoryRoundTrip(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, want := testKey(1), testResult(1)
+	if err := c.Put(key, "spec", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("fresh Put not found")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip not bit-identical:\n got %+v\nwant %+v", got, want)
+	}
+	if mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatal("round trip not byte-identical under JSON")
+	}
+	// Mutate the returned copy; the cache must be unaffected.
+	got.Metrics["l1.hit_rate"] = -1
+	again, _ := c.Get(key)
+	if again.Metrics["l1.hit_rate"] != want.Metrics["l1.hit_rate"] {
+		t.Fatal("Get returned an aliased Result: caller mutation reached the cache")
+	}
+
+	if _, ok := c.Get(testKey(9)); ok {
+		t.Fatal("absent key reported as hit")
+	}
+	s := c.Stats()
+	if s.MemHits != 2 || s.Misses != 1 || s.Stores != 1 {
+		t.Fatalf("stats = %+v, want 2 mem hits / 1 miss / 1 store", s)
+	}
+}
+
+// TestDiskRoundTrip: a second cache instance over the same directory (a
+// restart, or another process) serves the persisted record, and the bytes
+// counters see the traffic.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key, want := testKey(2), testResult(2)
+
+	c1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(key, "spec", want); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Stats().BytesWritten == 0 {
+		t.Fatal("persistent Put wrote no bytes")
+	}
+
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("persisted record not found by a fresh cache")
+	}
+	if !reflect.DeepEqual(got, want) || mustJSON(t, got) != mustJSON(t, want) {
+		t.Fatalf("disk round trip not bit-identical:\n got %+v\nwant %+v", got, want)
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.BytesRead == 0 {
+		t.Fatalf("stats = %+v, want 1 disk hit with bytes read", s)
+	}
+	// The disk hit was promoted: the next Get is a memory hit.
+	if _, ok := c2.Get(key); !ok || c2.Stats().MemHits != 1 {
+		t.Fatalf("disk hit was not promoted to the memory tier: %+v", c2.Stats())
+	}
+}
+
+// recordPath locates the sharded file for a key.
+func recordPath(dir string, key Key) string {
+	return filepath.Join(dir, key.Hex()[:2], key.Hex()+".json")
+}
+
+// TestCorruptRecordsAreMisses: garbled, truncated, and wrong-version records
+// are misses — counted, cleaned up, and recoverable by the next Put — never
+// errors.
+func TestCorruptRecordsAreMisses(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string, valid []byte)
+	}{
+		{"garbage", func(t *testing.T, path string, _ []byte) {
+			if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, path string, valid []byte) {
+			if err := os.WriteFile(path, valid[:len(valid)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, path string, _ []byte) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong version", func(t *testing.T, path string, _ []byte) {
+			raw, err := json.Marshal(record{Format: FormatVersion + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			key, want := testKey(3), testResult(3)
+			writer, err := New(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := writer.Put(key, "spec", want); err != nil {
+				t.Fatal(err)
+			}
+			path := recordPath(dir, key)
+			valid, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, path, valid)
+
+			// A fresh cache (no memory tier copy) must treat it as a miss.
+			reader, err := New(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := reader.Get(key); ok {
+				t.Fatal("corrupt record served as a hit")
+			}
+			s := reader.Stats()
+			if s.Corrupt != 1 || s.Misses != 1 {
+				t.Fatalf("stats = %+v, want 1 corrupt + 1 miss", s)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt record file was not removed")
+			}
+			// The tier self-heals: re-Put, then the record reads back.
+			if err := reader.Put(key, "spec", want); err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := New(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := fresh.Get(key); !ok || !reflect.DeepEqual(got, want) {
+				t.Fatal("re-Put after corruption did not restore the record")
+			}
+		})
+	}
+}
+
+// TestLRUEviction: the memory tier is bounded and evicts least-recently-used
+// first; touched entries survive.
+func TestLRUEviction(t *testing.T) {
+	c, err := New(Options{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(1); i <= 2; i++ {
+		if err := c.Put(testKey(i), "spec", testResult(int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 1 so key 2 is the LRU victim.
+	if _, ok := c.Get(testKey(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	}
+	if err := c.Put(testKey(3), "spec", testResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(testKey(2)); ok {
+		t.Fatal("LRU victim survived eviction")
+	}
+	if _, ok := c.Get(testKey(1)); !ok {
+		t.Fatal("recently-used entry was evicted")
+	}
+	if _, ok := c.Get(testKey(3)); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	if s := c.Stats(); s.Evictions != 1 || c.Len() != 2 {
+		t.Fatalf("evictions=%d len=%d, want 1 and 2", s.Evictions, c.Len())
+	}
+}
+
+// TestConcurrentSharedDir: many goroutines across two Cache instances
+// hammering one directory (the multi-Runner / multi-process shape) never
+// interleave partial writes: every Get that hits decodes to exactly the
+// Result stored for that key. Run under -race in CI.
+func TestConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(Options{Dir: dir, MaxEntries: -1}) // disk-only: every Get re-reads the file
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const keys = 4
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			caches := []*Cache{c1, c2}
+			for r := 0; r < rounds; r++ {
+				kb := byte(1 + (g+r)%keys)
+				key, want := testKey(kb), testResult(int(kb))
+				c := caches[(g+r)%2]
+				if (g+r)%3 == 0 {
+					if err := c.Put(key, "spec", want); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				got, ok := c.Get(key)
+				if !ok {
+					continue // not written yet: a miss, never an error
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs <- fmt.Errorf("key %v decoded to a torn/foreign record:\n got %+v\nwant %+v", key, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// No temp droppings left behind.
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "put-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("leftover temp files after concurrent writes: %v", matches)
+	}
+}

@@ -1,0 +1,152 @@
+package sweepd
+
+import (
+	"errors"
+	"net/http"
+
+	"ccsvm"
+)
+
+// SpecRequest is the wire form of one RunSpec: a workload name, a system
+// kind and/or preset, optional dotted-path overrides, and parameters.
+// Omitting params entirely means ccsvm.DefaultParams; omitting the system
+// with a preset means the preset's default system.
+type SpecRequest struct {
+	Workload  string         `json:"workload"`
+	System    string         `json:"system,omitempty"`
+	Preset    string         `json:"preset,omitempty"`
+	Overrides []string       `json:"overrides,omitempty"`
+	Params    *ParamsRequest `json:"params,omitempty"`
+	// Tag is echoed on sweep rows; it never affects the content address.
+	Tag string `json:"tag,omitempty"`
+}
+
+// ParamsRequest mirrors ccsvm.Params with wire names.
+type ParamsRequest struct {
+	N           int     `json:"n"`
+	Density     float64 `json:"density,omitempty"`
+	Seed        int64   `json:"seed"`
+	IncludeInit bool    `json:"include_init,omitempty"`
+}
+
+// SweepRequest is the body of POST /sweep: specs to run, streamed back in
+// this order.
+type SweepRequest struct {
+	Specs []SpecRequest `json:"specs"`
+}
+
+// RunResponse is the body of POST /run. It is a pure function of the spec's
+// content address — no tag, no cache provenance — so every caller of an
+// address receives identical bytes whether it simulated, coalesced onto an
+// in-flight run, or hit the cache. Cache provenance travels in the
+// X-Ccsvm-Cache header ("miss", "coalesced", "hit") instead.
+type RunResponse struct {
+	SpecHash     string             `json:"spec_hash"`
+	Workload     string             `json:"workload"`
+	System       string             `json:"system"`
+	N            int                `json:"n"`
+	Density      float64            `json:"density,omitempty"`
+	Seed         int64              `json:"seed"`
+	IncludeInit  bool               `json:"include_init,omitempty"`
+	Label        string             `json:"label,omitempty"`
+	SimTimePs    int64              `json:"sim_time_ps"`
+	DRAMAccesses uint64             `json:"dram_accesses"`
+	Checked      bool               `json:"checked"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response: a human-readable
+// message and a machine-matchable kind.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// StatsResponse is the body of GET /cache/stats.
+type StatsResponse struct {
+	// Cache is the resultcache counter snapshot; null when the server runs
+	// uncached.
+	Cache *ccsvm.CacheStats `json:"cache"`
+	// Serve are the serving-layer counters.
+	Serve ServeStats `json:"serve"`
+}
+
+// ServeStats counts what the serving layer did with requests.
+type ServeStats struct {
+	// Runs counts simulations actually executed (each coalesced group and
+	// each cache hit contributes at most one).
+	Runs uint64 `json:"runs"`
+	// Coalesced counts requests that attached to an in-flight computation.
+	Coalesced uint64 `json:"coalesced"`
+	// CacheHits counts requests served straight from the cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// Rejected counts requests turned away with 503 (queue full or
+	// draining).
+	Rejected uint64 `json:"rejected"`
+	// Errors counts simulations that failed.
+	Errors uint64 `json:"errors"`
+	// Draining reports that Shutdown has begun.
+	Draining bool `json:"draining"`
+}
+
+// apiError is a typed handler failure: an HTTP status, a stable kind string
+// for clients and tests, and the message.
+type apiError struct {
+	status int
+	kind   string
+	msg    string
+}
+
+// Error implements error.
+func (e *apiError) Error() string { return e.msg }
+
+// errBusy and errDraining are the 503 admission failures.
+var (
+	errBusy     = &apiError{status: http.StatusServiceUnavailable, kind: "busy", msg: "job queue full, retry later"}
+	errDraining = &apiError{status: http.StatusServiceUnavailable, kind: "draining", msg: "server is shutting down"}
+)
+
+// specError maps spec-resolution failures onto typed API errors: unknown
+// names are 404s, structurally invalid requests (unsupported pair, bad
+// override) are 422s, anything else is a 400.
+func specError(err error) *apiError {
+	kind, status := "bad_request", http.StatusBadRequest
+	switch {
+	case errors.Is(err, ccsvm.ErrUnknownWorkload):
+		kind, status = "unknown_workload", http.StatusNotFound
+	case errors.Is(err, ccsvm.ErrUnknownPreset):
+		kind, status = "unknown_preset", http.StatusNotFound
+	case errors.Is(err, ccsvm.ErrUnknownSystem):
+		kind, status = "unknown_system", http.StatusNotFound
+	case errors.Is(err, ccsvm.ErrUnsupportedPair):
+		kind, status = "unsupported_pair", http.StatusUnprocessableEntity
+	case errors.Is(err, ccsvm.ErrMachineMismatch):
+		kind, status = "machine_mismatch", http.StatusUnprocessableEntity
+	case errors.Is(err, ccsvm.ErrUnknownPath):
+		kind, status = "unknown_path", http.StatusUnprocessableEntity
+	case errors.Is(err, ccsvm.ErrBadValue):
+		kind, status = "bad_value", http.StatusUnprocessableEntity
+	case errors.Is(err, ccsvm.ErrOutOfRange):
+		kind, status = "out_of_range", http.StatusUnprocessableEntity
+	}
+	return &apiError{status: status, kind: kind, msg: err.Error()}
+}
+
+// resolve turns a wire request into a runnable RunSpec.
+func resolve(req SpecRequest) (ccsvm.RunSpec, *apiError) {
+	p := ccsvm.DefaultParams()
+	if req.Params != nil {
+		p = ccsvm.Params{
+			N:           req.Params.N,
+			Density:     req.Params.Density,
+			Seed:        req.Params.Seed,
+			IncludeInit: req.Params.IncludeInit,
+		}
+	}
+	spec, err := ccsvm.BuildSpec(req.Workload, ccsvm.SystemKind(req.System), req.Preset, req.Overrides, p)
+	if err != nil {
+		return ccsvm.RunSpec{}, specError(err)
+	}
+	spec.Tag = req.Tag
+	return spec, nil
+}

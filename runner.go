@@ -13,12 +13,21 @@ import (
 
 // RunSpec names one simulation to run: a registered workload, the system to
 // run it on, and its parameters. Tag is an optional caller label carried
-// through to the RunResult and the sinks.
+// through to the RunResult and the sinks. Preset and Overrides record how
+// the System was derived (BuildSpec fills them); they are provenance for
+// sinks and the sweep service, not identity — CanonicalBytes and Hash
+// address the spec by its resolved configuration, so two routes to the same
+// machine share one cache entry.
 type RunSpec struct {
 	Workload string
 	System   System
 	Params   Params
 	Tag      string
+	// Preset is the named machine preset the System was built from, if any.
+	Preset string
+	// Overrides are the dotted-path "path=value" assignments applied to the
+	// System after construction, in application order.
+	Overrides []string
 }
 
 // String formats the spec as "workload/system(n=.. ...)", including every
@@ -34,6 +43,12 @@ func (s RunSpec) String() string {
 	if s.Params.IncludeInit {
 		out += " +init"
 	}
+	if s.Preset != "" {
+		out += fmt.Sprintf(" preset=%s", s.Preset)
+	}
+	for _, o := range s.Overrides {
+		out += " " + o
+	}
 	if s.Tag != "" {
 		out += fmt.Sprintf(" tag=%q", s.Tag)
 	}
@@ -42,12 +57,16 @@ func (s RunSpec) String() string {
 
 // RunResult is the outcome of one RunSpec: the spec itself, its index in the
 // sweep, and either a Result or an error (lookup failure, unsupported pair,
-// or a simulation error).
+// or a simulation error). Cached reports that the Result was served from the
+// Runner's cache instead of a fresh simulation; under the determinism
+// contract the two are bit-identical, so Cached is observability, not a
+// semantic difference.
 type RunResult struct {
 	Spec   RunSpec
 	Index  int
 	Result Result
 	Err    error
+	Cached bool
 }
 
 // Sink consumes a stream of RunResults. Runner.Run delivers results to every
@@ -67,6 +86,10 @@ type Runner struct {
 	Parallel int
 	// Sinks receive every result, in spec order. Optional.
 	Sinks []Sink
+	// Cache, when set, memoizes Results by RunSpec.Hash: known specs are
+	// served from the cache (RunResult.Cached) and fresh successful runs are
+	// stored back. Failed runs are never cached. Optional.
+	Cache *Cache
 }
 
 // Run executes every spec and returns the results indexed like specs. The
@@ -94,7 +117,7 @@ func (r *Runner) Run(specs []RunSpec) ([]RunResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runOne(specs[i], i)
+				results[i] = r.runOne(specs[i], i)
 				done <- i
 			}
 		}()
@@ -140,15 +163,29 @@ func (r *Runner) closeSinks(errs []error) error {
 	return errors.Join(errs...)
 }
 
-// runOne resolves and executes a single spec through the registry.
-func runOne(spec RunSpec, index int) RunResult {
+// runOne resolves and executes a single spec through the registry,
+// consulting the cache first when the Runner has one.
+func (r *Runner) runOne(spec RunSpec, index int) RunResult {
 	rr := RunResult{Spec: spec, Index: index}
 	w, ok := Lookup(spec.Workload)
 	if !ok {
-		rr.Err = fmt.Errorf("unknown workload %q", spec.Workload)
+		rr.Err = fmt.Errorf("%w %q", ErrUnknownWorkload, spec.Workload)
 		return rr
 	}
+	var key CacheKey
+	if r.Cache != nil {
+		key = spec.Hash()
+		if res, ok := r.Cache.Get(key); ok {
+			rr.Result, rr.Cached = res, true
+			return rr
+		}
+	}
 	rr.Result, rr.Err = w.Run(spec.System, spec.Params)
+	if r.Cache != nil && rr.Err == nil {
+		// A persist failure only costs a future recomputation; it is counted
+		// in the cache's store_errors, not joined into the sweep error.
+		_ = r.Cache.Put(key, spec.String(), rr.Result)
+	}
 	return rr
 }
 
@@ -197,17 +234,23 @@ func (s *TextSink) Close() error {
 
 // jsonRecord is the JSON-lines schema for one run.
 type jsonRecord struct {
-	Workload     string  `json:"workload"`
-	System       string  `json:"system"`
-	N            int     `json:"n"`
-	Density      float64 `json:"density,omitempty"`
-	Seed         int64   `json:"seed"`
-	IncludeInit  bool    `json:"include_init,omitempty"`
-	Tag          string  `json:"tag,omitempty"`
-	Label        string  `json:"label,omitempty"`
-	SimTimePs    int64   `json:"sim_time_ps"`
-	DRAMAccesses uint64  `json:"dram_accesses"`
-	Checked      bool    `json:"checked"`
+	Workload    string   `json:"workload"`
+	System      string   `json:"system"`
+	N           int      `json:"n"`
+	Density     float64  `json:"density,omitempty"`
+	Seed        int64    `json:"seed"`
+	IncludeInit bool     `json:"include_init,omitempty"`
+	Tag         string   `json:"tag,omitempty"`
+	Preset      string   `json:"preset,omitempty"`
+	Overrides   []string `json:"overrides,omitempty"`
+	// Cached marks rows served from the Runner's result cache; absent for
+	// fresh simulations, so uncached sweeps keep their historical byte
+	// output.
+	Cached       bool   `json:"cached,omitempty"`
+	Label        string `json:"label,omitempty"`
+	SimTimePs    int64  `json:"sim_time_ps"`
+	DRAMAccesses uint64 `json:"dram_accesses"`
+	Checked      bool   `json:"checked"`
 	// Metrics carries the per-run machine metrics; encoding/json sorts the
 	// keys, so JSONL output is byte-stable at any parallelism.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -234,6 +277,9 @@ func (s *JSONLSink) Emit(r RunResult) error {
 		Seed:         r.Spec.Params.Seed,
 		IncludeInit:  r.Spec.Params.IncludeInit,
 		Tag:          r.Spec.Tag,
+		Preset:       r.Spec.Preset,
+		Overrides:    r.Spec.Overrides,
+		Cached:       r.Cached,
 		Label:        r.Result.Label,
 		SimTimePs:    int64(r.Result.Time),
 		DRAMAccesses: r.Result.DRAMAccesses,

@@ -1,0 +1,167 @@
+package ccsvm_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ccsvm"
+)
+
+// TestCanonicalBytesShape pins the gross shape of the canonical encoding:
+// the version line leads, the identity fields follow, and the inactive
+// machine's configuration never appears.
+func TestCanonicalBytesShape(t *testing.T) {
+	spec := ccsvm.RunSpec{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: ccsvm.DefaultParams()}
+	got := string(spec.CanonicalBytes())
+	if !strings.HasPrefix(got, "ccsvm-spec-v1\nworkload=\"matmul\"\nsystem=\"ccsvm\"\n") {
+		t.Fatalf("canonical encoding does not lead with version and identity:\n%s", got)
+	}
+	if !strings.Contains(got, "ccsvm.NumMTTOPs=") {
+		t.Errorf("ccsvm config missing from canonical encoding:\n%s", got)
+	}
+	if strings.Contains(got, "apu.") {
+		t.Errorf("inactive apu config leaked into a ccsvm spec's encoding:\n%s", got)
+	}
+
+	apuSpec := ccsvm.RunSpec{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCPU), Params: ccsvm.DefaultParams()}
+	apuGot := string(apuSpec.CanonicalBytes())
+	if !strings.Contains(apuGot, "apu.NumCPUs=") || strings.Contains(apuGot, "ccsvm.NumCPUs=") {
+		t.Errorf("cpu spec should encode only the apu config:\n%s", apuGot)
+	}
+}
+
+// TestHashIgnoresProvenance: Tag, Preset, and Overrides are labels and
+// provenance. Only the resolved configuration is identity, so a preset-built
+// system hashes identically to a hand-built one.
+func TestHashIgnoresProvenance(t *testing.T) {
+	base := ccsvm.RunSpec{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: ccsvm.DefaultParams()}
+	tagged := base
+	tagged.Tag = "row-7"
+	if base.Hash() != tagged.Hash() {
+		t.Error("Tag changed the content address")
+	}
+
+	built, err := ccsvm.BuildSpec("matmul", ccsvm.SystemCCSVM, "ccsvm-base", nil, ccsvm.DefaultParams())
+	if err != nil {
+		t.Fatalf("BuildSpec: %v", err)
+	}
+	if built.Preset == "" {
+		t.Fatal("BuildSpec did not record the preset as provenance")
+	}
+	if built.Hash() != base.Hash() {
+		t.Error("preset-built system and hand-built default system with equal configs have different addresses")
+	}
+
+	// An override that actually changes the configuration must change the
+	// address; recording the same value as the default must not.
+	widened, err := ccsvm.BuildSpec("matmul", ccsvm.SystemCCSVM, "", []string{"ccsvm.NumMTTOPs=12"}, ccsvm.DefaultParams())
+	if err != nil {
+		t.Fatalf("BuildSpec override: %v", err)
+	}
+	if widened.Hash() == base.Hash() {
+		t.Error("a real configuration change did not change the content address")
+	}
+	noop, err := ccsvm.BuildSpec("matmul", ccsvm.SystemCCSVM, "", []string{"ccsvm.NumMTTOPs=10"}, ccsvm.DefaultParams())
+	if err != nil {
+		t.Fatalf("BuildSpec noop override: %v", err)
+	}
+	if noop.Hash() != base.Hash() {
+		t.Error("an override writing the default value changed the content address")
+	}
+}
+
+// TestHashNormalizesUnusedParams: params a workload declares it does not
+// read cannot split the key space, while workloads that do read them keep
+// them as identity.
+func TestHashNormalizesUnusedParams(t *testing.T) {
+	p := ccsvm.DefaultParams()
+	a := ccsvm.RunSpec{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: p}
+	b := a
+	b.Params.Density = 0.9
+	if a.Hash() != b.Hash() {
+		t.Error("matmul does not use Density, but Density changed its address")
+	}
+
+	sa := ccsvm.RunSpec{Workload: "sparse", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: p}
+	sb := sa
+	sb.Params.Density = 0.9
+	if sa.Hash() == sb.Hash() {
+		t.Error("sparsemm uses Density, but Density did not change its address")
+	}
+
+	// IncludeInit only affects opencl runs.
+	ca := ccsvm.RunSpec{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: p}
+	cb := ca
+	cb.Params.IncludeInit = true
+	if ca.Hash() != cb.Hash() {
+		t.Error("IncludeInit changed a ccsvm run's address")
+	}
+	oa := ccsvm.RunSpec{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemOpenCL), Params: p}
+	ob := oa
+	ob.Params.IncludeInit = true
+	if oa.Hash() == ob.Hash() {
+		t.Error("IncludeInit did not change an opencl run's address")
+	}
+}
+
+// TestHashIgnoresInactiveConfig: garbage in the configuration of the machine
+// the spec does not run on is not identity.
+func TestHashIgnoresInactiveConfig(t *testing.T) {
+	a := ccsvm.RunSpec{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCPU), Params: ccsvm.DefaultParams()}
+	b := a
+	b.System.CCSVM.NumMTTOPs = 99
+	if a.Hash() != b.Hash() {
+		t.Error("inactive ccsvm config changed a cpu spec's address")
+	}
+}
+
+// TestCanonicalBytesStable: the encoding is a pure function of the spec.
+func TestCanonicalBytesStable(t *testing.T) {
+	spec := ccsvm.RunSpec{Workload: "barneshut", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: ccsvm.DefaultParams()}
+	if !bytes.Equal(spec.CanonicalBytes(), spec.CanonicalBytes()) {
+		t.Fatal("CanonicalBytes is not deterministic")
+	}
+}
+
+// TestBuildSpecTypedErrors pins the typed failures service handlers map to
+// status codes.
+func TestBuildSpecTypedErrors(t *testing.T) {
+	p := ccsvm.DefaultParams()
+	cases := []struct {
+		name             string
+		workload, preset string
+		kind             ccsvm.SystemKind
+		overrides        []string
+		want             error
+	}{
+		{name: "unknown workload", workload: "nope", kind: ccsvm.SystemCCSVM, want: ccsvm.ErrUnknownWorkload},
+		{name: "unknown preset", workload: "matmul", preset: "nope", want: ccsvm.ErrUnknownPreset},
+		{name: "unknown system", workload: "matmul", kind: "vax", want: ccsvm.ErrUnknownSystem},
+		{name: "empty system no preset", workload: "matmul", want: ccsvm.ErrUnknownSystem},
+		{name: "unsupported pair", workload: "sparse", kind: ccsvm.SystemOpenCL, want: ccsvm.ErrUnsupportedPair},
+		{name: "bad override path", workload: "matmul", kind: ccsvm.SystemCCSVM,
+			overrides: []string{"ccsvm.NoSuchField=1"}, want: ccsvm.ErrUnknownPath},
+		{name: "wrong machine override", workload: "matmul", kind: ccsvm.SystemCCSVM,
+			overrides: []string{"apu.NumCPUs=2"}, want: ccsvm.ErrMachineMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ccsvm.BuildSpec(tc.workload, tc.kind, tc.preset, tc.overrides, p)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("BuildSpec error = %v, want errors.Is(_, %v)", err, tc.want)
+			}
+		})
+	}
+
+	// The happy path of preset defaulting: empty kind with a preset uses the
+	// preset's default system.
+	spec, err := ccsvm.BuildSpec("matmul", "", "apu-base", nil, p)
+	if err != nil {
+		t.Fatalf("BuildSpec with preset default kind: %v", err)
+	}
+	if spec.System.Kind != ccsvm.SystemCPU {
+		t.Fatalf("preset default kind = %s, want cpu", spec.System.Kind)
+	}
+}
