@@ -14,6 +14,20 @@
 //	ccsvm-bench -date 2026-07-29      # pin the filename date (reproducible CI paths)
 //	ccsvm-bench -stdout               # also print the JSON to stdout
 //
+// Regression mode diffs a run against a committed baseline instead of
+// writing one:
+//
+//	ccsvm-bench -compare BENCH_2026-07-29.json             # measure, then diff
+//	ccsvm-bench -compare old.json -input new.json          # diff two files, no run
+//
+// The gate has three tiers per series, matched by name: sim_time_ps and
+// sim_events must be bit-identical (the determinism contract — any drift is
+// a simulation change, not noise), allocs_per_op may grow only within a
+// tight threshold (-alloc-threshold, default 5% plus a few-alloc slack),
+// and events_per_sec may drop only within a lenient threshold (-threshold,
+// default 30%) because wall clock is noisy on shared runners. Any violation,
+// or a baseline series missing from the current run, exits 1.
+//
 // The series list mirrors bench_test.go (the `go test -bench` harness): the
 // same (workload, system, size) points the paper's figures use, resolved
 // through the ccsvm registry. Timing here is wall-clock on the current host —
@@ -26,9 +40,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"ccsvm"
@@ -90,11 +106,51 @@ func main() {
 	out := flag.String("out", ".", "directory to write BENCH_<date>.json into")
 	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the output filename")
 	toStdout := flag.Bool("stdout", false, "also print the JSON document to stdout")
+	comparePath := flag.String("compare", "", "baseline BENCH_*.json to diff against; regressions exit 1 (no baseline file is written)")
+	inputPath := flag.String("input", "", "with -compare: read current results from this BENCH_*.json instead of running the benchmarks")
+	evThreshold := flag.Float64("threshold", 0.30, "with -compare: max tolerated relative events/sec drop")
+	allocThreshold := flag.Float64("alloc-threshold", 0.05, "with -compare: max tolerated relative allocs/op increase")
 	flag.Parse()
 
 	if *iters < 1 {
 		fmt.Fprintln(os.Stderr, "ccsvm-bench: -iters must be at least 1")
 		os.Exit(2)
+	}
+	if *inputPath != "" && *comparePath == "" {
+		fmt.Fprintln(os.Stderr, "ccsvm-bench: -input only makes sense with -compare")
+		os.Exit(2)
+	}
+
+	if *comparePath != "" {
+		base, err := readBaseline(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccsvm-bench: %v\n", err)
+			os.Exit(2)
+		}
+		var cur []record
+		if *inputPath != "" {
+			in, err := readBaseline(*inputPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ccsvm-bench: %v\n", err)
+				os.Exit(2)
+			}
+			cur = in.Series
+		} else {
+			for _, s := range paperSeries {
+				rec, err := measure(s, *iters)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ccsvm-bench: %s: %v\n", s.Name, err)
+					os.Exit(1)
+				}
+				cur = append(cur, rec)
+			}
+		}
+		if !compare(os.Stdout, base.Series, cur, *evThreshold, *allocThreshold) {
+			fmt.Fprintf(os.Stderr, "ccsvm-bench: regression against %s\n", *comparePath)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ccsvm-bench: no regression against %s\n", *comparePath)
+		return
 	}
 	b := baseline{
 		Date:      *date,
@@ -132,6 +188,79 @@ func main() {
 	if *toStdout {
 		os.Stdout.Write(doc)
 	}
+}
+
+// readBaseline loads and decodes one emitted BENCH_*.json document.
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(doc, &b); err != nil {
+		return b, fmt.Errorf("%s: %v", path, err)
+	}
+	return b, nil
+}
+
+// allocSlack is the absolute allocs/op increase tolerated on top of the
+// relative threshold, so series with near-zero counts don't fail on a
+// handful of runtime-internal allocations.
+const allocSlack = 16
+
+// compare diffs cur against base series-by-series (matched by name), writes
+// one line per series to w, and reports whether the gate passes. The tiers
+// are documented in the package comment: exact simulated time and event
+// counts, tight allocs/op, lenient events/sec.
+func compare(w io.Writer, base, cur []record, evThreshold, allocThreshold float64) bool {
+	curByName := make(map[string]record, len(cur))
+	for _, r := range cur {
+		curByName[r.Name] = r
+	}
+	ok := true
+	for _, b := range base {
+		c, found := curByName[b.Name]
+		if !found {
+			fmt.Fprintf(w, "%-28s MISSING: series in baseline but not in this run\n", b.Name)
+			ok = false
+			continue
+		}
+		delete(curByName, b.Name)
+		var problems []string
+		if c.SimTimePs != b.SimTimePs {
+			problems = append(problems, fmt.Sprintf("sim_time_ps %d != baseline %d (determinism)", c.SimTimePs, b.SimTimePs))
+		}
+		if c.SimEvents != b.SimEvents {
+			problems = append(problems, fmt.Sprintf("sim_events %.0f != baseline %.0f (determinism)", c.SimEvents, b.SimEvents))
+		}
+		allocLimit := uint64(float64(b.AllocsPerOp)*(1+allocThreshold)) + allocSlack
+		if c.AllocsPerOp > allocLimit {
+			problems = append(problems, fmt.Sprintf("allocs/op %d > limit %d (baseline %d)", c.AllocsPerOp, allocLimit, b.AllocsPerOp))
+		}
+		if b.EventsPerSec > 0 {
+			evLimit := b.EventsPerSec * (1 - evThreshold)
+			if c.EventsPerSec < evLimit {
+				problems = append(problems, fmt.Sprintf("events/sec %.0f < limit %.0f (baseline %.0f)", c.EventsPerSec, evLimit, b.EventsPerSec))
+			}
+		}
+		if len(problems) > 0 {
+			fmt.Fprintf(w, "%-28s FAIL: %s\n", b.Name, strings.Join(problems, "; "))
+			ok = false
+			continue
+		}
+		fmt.Fprintf(w, "%-28s ok: %+.1f%% events/sec, %+d allocs/op\n",
+			b.Name, 100*(c.EventsPerSec/b.EventsPerSec-1), int64(c.AllocsPerOp)-int64(b.AllocsPerOp))
+	}
+	// New series are fine — they have no baseline yet — but say so, since a
+	// rename shows up as one missing plus one new. Matched entries were
+	// deleted above, so whatever is left in curByName is new; iterate cur to
+	// keep the output order deterministic.
+	for _, r := range cur {
+		if _, isNew := curByName[r.Name]; isNew {
+			fmt.Fprintf(w, "%-28s new: no baseline entry\n", r.Name)
+		}
+	}
+	return ok
 }
 
 // measure runs one series: a warmup run to populate pools and caches, then

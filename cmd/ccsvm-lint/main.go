@@ -7,6 +7,12 @@
 //
 //	go run ./cmd/ccsvm-lint ./...
 //	go run ./cmd/ccsvm-lint -only determinism,hotpath ./internal/sim
+//	go run ./cmd/ccsvm-lint -format sarif ./... > lint.sarif
+//
+// -format selects the report rendering: text (default, one line per
+// finding), json (a small stable schema for scripting), or sarif (SARIF
+// 2.1.0 for code-scanning upload). JSON and SARIF documents are written to
+// stdout even when there are no findings; the exit status is the signal.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	format := flag.String("format", "text", "report format: text, json or sarif")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccsvm-lint [-only names] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -31,6 +38,13 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "ccsvm-lint: unknown format %q (want text, json or sarif)\n", *format)
+		os.Exit(2)
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
@@ -77,8 +91,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccsvm-lint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Printf("%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	switch *format {
+	case "json":
+		err = lint.WriteJSON(os.Stdout, findings, root)
+	case "sarif":
+		err = lint.WriteSARIF(os.Stdout, findings, analyzers, root)
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccsvm-lint:", err)
+		os.Exit(2)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "ccsvm-lint: %d finding(s)\n", len(findings))

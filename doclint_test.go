@@ -24,6 +24,8 @@ func TestDocLint(t *testing.T) {
 		"internal/workloads",
 		"internal/lint",
 		"internal/lint/analysis",
+		"internal/lint/cfg",
+		"internal/lint/dataflow",
 		"internal/lint/load",
 		"internal/lint/linttest",
 		"internal/resultcache",

@@ -84,6 +84,8 @@ type BankConfig struct {
 // DirectoryBank is one bank of the shared L2 cache with its embedded
 // directory. It owns an interleaved slice of the physical address space and a
 // DRAM channel for misses and writebacks.
+//
+//ccsvm:state
 type DirectoryBank struct {
 	engine *sim.Engine
 	id     noc.NodeID
@@ -97,7 +99,8 @@ type DirectoryBank struct {
 	// pool recycles protocol messages (see msgPool for the ownership rules);
 	// processFn is the post-access-latency continuation bound once so the
 	// per-message Receive path schedules without allocating a closure.
-	pool      msgPool
+	pool msgPool
+	//ccsvm:stateok // bound once at construction; rebound on restore
 	processFn func(any)
 
 	// skipInvs is the fault-injection budget armed by

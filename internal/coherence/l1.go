@@ -24,7 +24,8 @@ type L1Config struct {
 
 // pendingAccess is a core request waiting inside the controller.
 type pendingAccess struct {
-	req  mem.Request
+	req mem.Request
+	//ccsvm:stateok // core completion callback; cores re-issue quiesced accesses on restore
 	done func()
 }
 
@@ -56,10 +57,13 @@ type evictEntry struct {
 // L1Controller is the coherence controller of one private L1 data cache. It
 // accepts requests from its core through the mem.Port interface and speaks
 // the MOESI directory protocol on the on-chip network.
+//
+//ccsvm:state
 type L1Controller struct {
-	engine  *sim.Engine
-	id      noc.NodeID
-	net     noc.Network
+	engine *sim.Engine
+	id     noc.NodeID
+	net    noc.Network
+	//ccsvm:stateok // pure address-interleaving function; rebuilt from the bank list on restore
 	banks   BankMapper
 	cfg     L1Config
 	array   *cache.Array
@@ -74,7 +78,8 @@ type L1Controller struct {
 	// paFree recycles the carriers that ride core requests through the
 	// tag-latency delay, and handleFn is that continuation bound once, so
 	// Access schedules without allocating (see Engine.ScheduleArg).
-	paFree   []*pendingAccess
+	paFree []*pendingAccess
+	//ccsvm:stateok // bound once at construction; rebound on restore
 	handleFn func(any)
 
 	hits        *stats.Counter

@@ -185,6 +185,7 @@ func SumPoolStats(l1s []*L1Controller, banks []*DirectoryBank) PoolStats {
 // get returns a message with the given header fields and all others zeroed.
 //
 //ccsvm:pooled get
+//ccsvm:hotpath
 func (p *msgPool) get(t MsgType, addr mem.LineAddr, req noc.NodeID) *Msg {
 	p.stats.Gets++
 	var m *Msg
@@ -193,7 +194,7 @@ func (p *msgPool) get(t MsgType, addr mem.LineAddr, req noc.NodeID) *Msg {
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
 	} else {
-		m = new(Msg)
+		m = new(Msg) //ccsvm:allocok // pool miss; steady state reuses the free list
 	}
 	m.Type, m.Addr, m.Requestor = t, addr, req
 	m.AckCount = 0
@@ -209,6 +210,7 @@ func (p *msgPool) get(t MsgType, addr mem.LineAddr, req noc.NodeID) *Msg {
 // any such release.
 //
 //ccsvm:pooled put
+//ccsvm:hotpath
 func (p *msgPool) put(m *Msg) {
 	if m.pooled {
 		p.stats.DoubleReleases++
@@ -216,7 +218,7 @@ func (p *msgPool) put(m *Msg) {
 	}
 	m.pooled = true
 	p.stats.Puts++
-	p.free = append(p.free, m)
+	p.free = append(p.free, m) //ccsvm:allocok // free list returns to its high-water mark
 }
 
 // send wraps the protocol message in a pooled network message and sends it;

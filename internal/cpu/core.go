@@ -31,6 +31,8 @@ type Interrupt struct {
 	// Name describes the interrupt for traces.
 	Name string
 	// Service performs the work, possibly over simulated time.
+	//
+	//ccsvm:stateok // interrupt service routines are re-registered by the machine on restore
 	Service func(done func())
 }
 
@@ -47,6 +49,8 @@ type Config struct {
 }
 
 // Core is one CPU core.
+//
+//ccsvm:state
 type Core struct {
 	engine *sim.Engine
 	cfg    Config
@@ -55,9 +59,12 @@ type Core struct {
 	phys   *mem.Physical
 	kernel *kernelos.Kernel
 
+	//ccsvm:stateok // installed by the machine at boot; rebound on restore
 	syscall SyscallHandler
 
-	current    *exec.Thread
+	//ccsvm:stateok // goroutine-backed thread handle; software threads are re-launched on restore
+	current *exec.Thread
+	//ccsvm:stateok // goroutine-backed thread handles; software threads are re-launched on restore
 	runQueue   []*exec.Thread
 	interrupts []Interrupt
 	busy       bool
@@ -66,6 +73,8 @@ type Core struct {
 	nextOp     exec.Op
 	haveNextOp bool
 	// onExit callbacks fire when a thread finishes, keyed per thread start.
+	//
+	//ccsvm:stateok // thread-exit continuations; re-registered when threads are re-launched on restore
 	onExit map[*exec.Thread]func()
 
 	// The core runs one operation at a time (busy), so the in-flight op's
@@ -76,10 +85,14 @@ type Core struct {
 	// computeFn completes a compute op; translateCb receives the MMU result;
 	// accessCb runs when the cache access is globally performed; retryMemFn
 	// reissues the op after a serviced page fault.
-	computeFn   func(any)
+	//ccsvm:stateok // bound once at construction; rebound on restore
+	computeFn func(any)
+	//ccsvm:stateok // bound once at construction; rebound on restore
 	translateCb func(mem.PAddr, *vm.Fault)
-	accessCb    func()
-	retryMemFn  func()
+	//ccsvm:stateok // bound once at construction; rebound on restore
+	accessCb func()
+	//ccsvm:stateok // bound once at construction; rebound on restore
+	retryMemFn func()
 
 	instrs     *stats.Counter
 	memOps     *stats.Counter

@@ -52,6 +52,8 @@ type Op struct {
 	Value uint64
 	// Modify is the read-modify-write function of an OpRMW, applied
 	// atomically by the core at completion time.
+	//
+	//ccsvm:stateok // in-flight RMW closure; a checkpoint quiesces the cores first
 	Modify func(old uint64) uint64
 	// Instrs is the instruction count of an OpCompute.
 	Instrs int64

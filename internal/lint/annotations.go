@@ -42,6 +42,19 @@ const (
 	// the range statement on the same or next line; it is a reviewed claim
 	// that the loop body's effects commute (or are sorted afterwards).
 	DirOrderInvariant = "orderinvariant"
+	// DirAllocOk suppresses the allocfree analyzer for the statement on the
+	// same or next line inside a //ccsvm:hotpath function; it is a reviewed
+	// claim that the allocation is amortized (pool chunk refill, slice
+	// growth to a high-water mark) or otherwise off the steady-state path.
+	DirAllocOk = "allocok"
+	// DirState marks a machine-state root type: the statesafe analyzer
+	// requires its reachable field closure to be checkpointable — free of
+	// func values, channels, unsafe.Pointer and sync primitives.
+	DirState = "state"
+	// DirStateOk waives one struct field from the statesafe closure walk; it
+	// is a reviewed claim that the field is rebuilt (not serialized) on
+	// checkpoint restore.
+	DirStateOk = "stateok"
 )
 
 // directivePrefix introduces every ccsvm directive comment.
@@ -70,12 +83,12 @@ type AnnotationError struct {
 type Annotations struct {
 	// Pkg holds package-level directives (currently only deterministic).
 	Pkg []Directive
-	// ByObj maps annotated functions, methods and interface methods to their
-	// directives.
+	// ByObj maps annotated functions, methods, interface methods, types and
+	// struct fields to their directives.
 	ByObj map[types.Object][]Directive
-	// orderInvariant records the file lines carrying an orderinvariant
-	// directive, keyed by filename then line.
-	orderInvariant map[string]map[int]bool
+	// floatingLines records the file lines carrying each floating directive
+	// kind, keyed by kind, then filename, then line.
+	floatingLines map[string]map[string]map[int]bool
 	// Errors collects malformed and misplaced directives; the ccsvmdirective
 	// analyzer reports them.
 	Errors []AnnotationError
@@ -112,20 +125,32 @@ func (a *Annotations) PkgHas(kind string) bool {
 	return false
 }
 
-// OrderInvariantAt reports whether an orderinvariant directive is attached to
-// the statement at pos: on the same line (trailing comment) or the line
-// directly above it.
-func (a *Annotations) OrderInvariantAt(fset *token.FileSet, pos token.Pos) bool {
+// FloatingAt reports whether a floating directive of the given kind is
+// attached to the statement at pos: on the same line (trailing comment) or
+// the line directly above it.
+func (a *Annotations) FloatingAt(kind string, fset *token.FileSet, pos token.Pos) bool {
 	p := fset.Position(pos)
-	lines := a.orderInvariant[p.Filename]
+	lines := a.floatingLines[kind][p.Filename]
 	return lines[p.Line] || lines[p.Line-1]
+}
+
+// OrderInvariantAt reports whether an orderinvariant directive is attached to
+// the statement at pos.
+func (a *Annotations) OrderInvariantAt(fset *token.FileSet, pos token.Pos) bool {
+	return a.FloatingAt(DirOrderInvariant, fset, pos)
+}
+
+// AllocOkAt reports whether an allocok directive is attached to the
+// statement or expression at pos.
+func (a *Annotations) AllocOkAt(fset *token.FileSet, pos token.Pos) bool {
+	return a.FloatingAt(DirAllocOk, fset, pos)
 }
 
 // directiveSpec describes where each directive kind may appear and whether it
 // takes an argument.
 var directiveSpec = map[string]struct {
-	onPackage, onFunc, floating bool
-	args                        []string // allowed argument values; nil means no argument
+	onPackage, onFunc, onType, onField, floating bool
+	args                                         []string // allowed argument values; nil means no argument
 }{
 	DirDeterministic:  {onPackage: true},
 	DirEngineCtx:      {onFunc: true},
@@ -134,6 +159,9 @@ var directiveSpec = map[string]struct {
 	DirThreadEntry:    {onFunc: true},
 	DirPooled:         {onFunc: true, args: []string{"get", "put"}},
 	DirOrderInvariant: {floating: true},
+	DirAllocOk:        {floating: true},
+	DirState:          {onType: true},
+	DirStateOk:        {onField: true},
 }
 
 // ParseAnnotations extracts every //ccsvm: directive of the package, resolving
@@ -141,8 +169,8 @@ var directiveSpec = map[string]struct {
 // collected in Errors, never silently applied.
 func ParseAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) *Annotations {
 	a := &Annotations{
-		ByObj:          make(map[types.Object][]Directive),
-		orderInvariant: make(map[string]map[int]bool),
+		ByObj:         make(map[types.Object][]Directive),
+		floatingLines: make(map[string]map[string]map[int]bool),
 	}
 	for _, file := range files {
 		a.parseFile(fset, file, info)
@@ -176,15 +204,25 @@ func (a *Annotations) parseFile(fset *token.FileSet, file *ast.File, info *types
 		case *ast.GenDecl:
 			if decl.Doc != nil {
 				attached[decl.Doc] = true
-				for _, d := range a.parseGroup(decl.Doc) {
-					a.misplaced(d, "declaration")
+				// The doc comment of a non-parenthesized `type T ...`
+				// declaration attaches to the GenDecl, not the TypeSpec.
+				if ts, ok := singleTypeSpec(decl); ok {
+					obj := info.Defs[ts.Name]
+					for _, d := range a.parseGroup(decl.Doc) {
+						a.place(d, "type", func() { a.ByObj[obj] = append(a.ByObj[obj], d) })
+					}
+				} else {
+					for _, d := range a.parseGroup(decl.Doc) {
+						a.misplaced(d, "declaration")
+					}
 				}
 			}
 		case *ast.TypeSpec:
 			if decl.Doc != nil {
 				attached[decl.Doc] = true
+				obj := info.Defs[decl.Name]
 				for _, d := range a.parseGroup(decl.Doc) {
-					a.misplaced(d, "type")
+					a.place(d, "type", func() { a.ByObj[obj] = append(a.ByObj[obj], d) })
 				}
 			}
 			if decl.Comment != nil {
@@ -201,20 +239,29 @@ func (a *Annotations) parseFile(fset *token.FileSet, file *ast.File, info *types
 				attached[decl.Comment] = true
 			}
 		case *ast.Field:
-			if decl.Doc != nil {
-				attached[decl.Doc] = true
+			for _, group := range []*ast.CommentGroup{decl.Doc, decl.Comment} {
+				if group == nil {
+					continue
+				}
+				attached[group] = true
 				if obj := interfaceMethodObj(decl, info); obj != nil {
-					for _, d := range a.parseGroup(decl.Doc) {
+					for _, d := range a.parseGroup(group) {
 						a.place(d, "function", func() { a.ByObj[obj] = append(a.ByObj[obj], d) })
 					}
-				} else {
-					for _, d := range a.parseGroup(decl.Doc) {
-						a.misplaced(d, "field")
-					}
+					continue
 				}
-			}
-			if decl.Comment != nil {
-				attached[decl.Comment] = true
+				for _, d := range a.parseGroup(group) {
+					if len(decl.Names) == 0 {
+						a.misplaced(d, "field") // embedded fields cannot be annotated
+						continue
+					}
+					a.place(d, "field", func() {
+						for _, name := range decl.Names {
+							obj := info.Defs[name]
+							a.ByObj[obj] = append(a.ByObj[obj], d)
+						}
+					})
+				}
 			}
 		}
 		return true
@@ -227,10 +274,15 @@ func (a *Annotations) parseFile(fset *token.FileSet, file *ast.File, info *types
 		for _, d := range a.parseGroup(group) {
 			a.place(d, "floating", func() {
 				p := fset.Position(d.Pos)
-				lines := a.orderInvariant[p.Filename]
+				byFile := a.floatingLines[d.Kind]
+				if byFile == nil {
+					byFile = make(map[string]map[int]bool)
+					a.floatingLines[d.Kind] = byFile
+				}
+				lines := byFile[p.Filename]
 				if lines == nil {
 					lines = make(map[int]bool)
-					a.orderInvariant[p.Filename] = lines
+					byFile[p.Filename] = lines
 				}
 				lines[p.Line] = true
 			})
@@ -254,12 +306,25 @@ func interfaceMethodObj(f *ast.Field, info *types.Info) types.Object {
 	return nil
 }
 
-// place validates a directive's placement ("package", "function" or
-// "floating") and either applies it via apply or records an error.
+// singleTypeSpec returns the lone TypeSpec of a non-parenthesized type
+// declaration, whose doc comment attaches to the GenDecl.
+func singleTypeSpec(decl *ast.GenDecl) (*ast.TypeSpec, bool) {
+	if decl.Tok != token.TYPE || len(decl.Specs) != 1 || decl.Lparen.IsValid() {
+		return nil, false
+	}
+	ts, ok := decl.Specs[0].(*ast.TypeSpec)
+	return ts, ok
+}
+
+// place validates a directive's placement ("package", "function", "type",
+// "field" or "floating") and either applies it via apply or records an
+// error.
 func (a *Annotations) place(d Directive, where string, apply func()) {
 	spec := directiveSpec[d.Kind]
 	ok := (where == "package" && spec.onPackage) ||
 		(where == "function" && spec.onFunc) ||
+		(where == "type" && spec.onType) ||
+		(where == "field" && spec.onField) ||
 		(where == "floating" && spec.floating)
 	if !ok {
 		a.misplaced(d, where)
@@ -276,6 +341,12 @@ func (a *Annotations) misplaced(d Directive, where string) {
 	}
 	if spec.onFunc {
 		allowed = append(allowed, "a function, method or interface-method doc comment")
+	}
+	if spec.onType {
+		allowed = append(allowed, "a type declaration doc comment")
+	}
+	if spec.onField {
+		allowed = append(allowed, "a named struct field")
 	}
 	if spec.floating {
 		allowed = append(allowed, "a statement inside a function body")

@@ -1,0 +1,444 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies for the ccsvm lint suite, using only the standard library.
+// It is a small stand-in for golang.org/x/tools/go/cfg with the features the
+// flow-sensitive analyzers need: branch and loop edges (if/for/range/switch/
+// type-switch/select, break/continue/goto with labels, fallthrough), a
+// distinguished normal-exit block fed by returns and by falling off the end,
+// and a distinguished panic-exit block fed by statements the caller
+// classifies as non-returning.
+//
+// Deferred calls are deliberately kept in the block where the defer statement
+// executes (registration order), not duplicated onto the exit edges: the
+// dataflow clients interpret a DeferStmt's effect at its registration point,
+// which is sound for the must-release and double-release analyses this
+// package serves (a registered release is guaranteed to run exactly once per
+// registration, on every exit).
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one straight-line run of AST nodes with no internal control flow.
+type Block struct {
+	// Index is the block's position in CFG.Blocks, assigned in creation
+	// order (entry first); dataflow results are indexed by it.
+	Index int
+	// Nodes holds statements and branch-condition expressions in execution
+	// order. Compound statements never appear whole: an if contributes its
+	// Init and Cond here and its branches elsewhere.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+	// Preds are the predecessor blocks.
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block, entry first, indexed by Block.Index.
+	Blocks []*Block
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the normal-return exit: every return statement and the fall
+	// off the end of the body lead here. It holds no nodes.
+	Exit *Block
+	// Panic is the abnormal exit fed by statements classified as
+	// non-returning by Options.IsPanic. It holds no nodes.
+	Panic *Block
+}
+
+// Options configures graph construction.
+type Options struct {
+	// IsPanic classifies a call as never returning normally (the panic
+	// builtin, or panic-like helpers). An expression statement consisting of
+	// such a call edges to CFG.Panic instead of falling through. Nil means
+	// no calls are so classified.
+	IsPanic func(*ast.CallExpr) bool
+}
+
+// New builds the control-flow graph of one function (or function literal)
+// body. Nested function literals are not descended into: their bodies are
+// separate functions with separate graphs.
+func New(body *ast.BlockStmt, opt Options) *CFG {
+	b := &builder{
+		g:      &CFG{},
+		opt:    opt,
+		labels: make(map[string]*labelInfo),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.g.Panic = b.newBlock()
+	b.cur = b.g.Entry
+	for _, s := range body.List {
+		b.stmt(s)
+	}
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+// labelInfo tracks one label: the block a goto to it jumps to, and (once the
+// labeled statement is reached) its loop/switch break and continue targets.
+type labelInfo struct {
+	block      *Block
+	breakTo    *Block
+	continueTo *Block
+}
+
+// scope is one enclosing breakable construct on the builder's stack.
+type scope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch and select scopes
+}
+
+type builder struct {
+	g   *CFG
+	opt Options
+	cur *Block
+
+	scopes        []scope
+	labels        map[string]*labelInfo
+	pendingLabel  string
+	fallthroughTo *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge records from -> to. A nil from (no live current block) is a no-op.
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// takeLabel consumes the label of the innermost enclosing LabeledStmt, so
+// loop and switch constructs can register labeled break/continue targets.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// labelFor returns (creating on demand) the label's info, so forward gotos
+// resolve.
+func (b *builder) labelFor(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{block: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) pushScope(label string, breakTo, continueTo *Block) {
+	b.scopes = append(b.scopes, scope{label: label, breakTo: breakTo, continueTo: continueTo})
+	if label != "" {
+		li := b.labelFor(label)
+		li.breakTo, li.continueTo = breakTo, continueTo
+	}
+}
+
+func (b *builder) popScope() {
+	b.scopes = b.scopes[:len(b.scopes)-1]
+}
+
+// isPanicStmt reports whether the statement is a call classified as
+// non-returning.
+func (b *builder) isPanicStmt(s ast.Stmt) bool {
+	if b.opt.IsPanic == nil {
+		return false
+	}
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	return ok && b.opt.IsPanic(call)
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if _, isLabeled := s.(*ast.LabeledStmt); !isLabeled {
+		// Any non-loop statement consumes a pending label: `L: x := 1` makes
+		// L a plain goto target.
+		defer func() { b.pendingLabel = "" }()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.takeLabel()
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	case *ast.LabeledStmt:
+		li := b.labelFor(s.Label.Name)
+		b.edge(b.cur, li.block)
+		b.cur = li.block
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, false)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	default:
+		// Assignments, declarations, sends, inc/dec, defer, go, and plain
+		// expression statements are straight-line nodes.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if b.isPanicStmt(s) {
+			b.edge(b.cur, b.g.Panic)
+			b.cur = b.newBlock()
+		}
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	var to *Block
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			to = b.labelFor(s.Label.Name).breakTo
+		} else {
+			for i := len(b.scopes) - 1; i >= 0; i-- {
+				if b.scopes[i].breakTo != nil {
+					to = b.scopes[i].breakTo
+					break
+				}
+			}
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			to = b.labelFor(s.Label.Name).continueTo
+		} else {
+			for i := len(b.scopes) - 1; i >= 0; i-- {
+				if b.scopes[i].continueTo != nil {
+					to = b.scopes[i].continueTo
+					break
+				}
+			}
+		}
+	case token.GOTO:
+		to = b.labelFor(s.Label.Name).block
+	case token.FALLTHROUGH:
+		to = b.fallthroughTo
+	}
+	if to == nil {
+		// break/continue outside any scope would not compile; be lenient and
+		// treat it as leaving the function.
+		to = b.g.Exit
+	}
+	b.edge(b.cur, to)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, after)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	cont := head
+	if s.Post != nil {
+		post := b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		cont = post
+	}
+	b.pushScope(label, after, cont)
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, cont)
+	b.popScope()
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	// The range expression is (re-)read at the head; the per-iteration key
+	// and value bindings carry no information the lint analyses need.
+	head.Nodes = append(head.Nodes, s.X)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.pushScope(label, after, head)
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.popScope()
+	b.cur = after
+}
+
+// switchStmt builds expression and type switches. tag and assign are the
+// respective header parts; allowFallthrough is false for type switches.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, allowFallthrough bool) {
+	label := b.takeLabel()
+	if init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, init)
+	}
+	if tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, tag)
+	}
+	if assign != nil {
+		b.cur.Nodes = append(b.cur.Nodes, assign)
+	}
+	cond := b.cur
+	after := b.newBlock()
+	b.pushScope(label, after, nil)
+
+	clauses := body.List
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		// Case expressions are evaluated while deciding which clause runs.
+		for _, e := range cc.List {
+			cond.Nodes = append(cond.Nodes, e)
+		}
+		b.edge(cond, bodies[i])
+		savedFT := b.fallthroughTo
+		if allowFallthrough && i+1 < len(clauses) {
+			b.fallthroughTo = bodies[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.cur = bodies[i]
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+		b.fallthroughTo = savedFT
+	}
+	if !hasDefault {
+		b.edge(cond, after)
+	}
+	b.popScope()
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	cond := b.cur
+	after := b.newBlock()
+	b.pushScope(label, after, nil)
+	hasClause := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		hasClause = true
+		blk := b.newBlock()
+		b.edge(cond, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.cur.Nodes = append(b.cur.Nodes, cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	if !hasClause {
+		// select{} blocks forever; control never reaches after, but keep the
+		// graph connected for the solver.
+		b.edge(cond, after)
+	}
+	b.popScope()
+	b.cur = after
+}
+
+// String renders the graph compactly for tests and debugging: one line per
+// block with its node count and successor indexes.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d[%d]:", blk.Index, len(blk.Nodes))
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		switch blk {
+		case g.Exit:
+			sb.WriteString(" (exit)")
+		case g.Panic:
+			sb.WriteString(" (panic)")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

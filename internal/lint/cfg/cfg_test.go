@@ -1,0 +1,259 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a function body from source and returns it.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// build constructs a CFG classifying calls to the panic builtin as panics.
+func build(t *testing.T, body string) *CFG {
+	t.Helper()
+	g := New(parseBody(t, body), Options{
+		IsPanic: func(c *ast.CallExpr) bool {
+			id, ok := c.Fun.(*ast.Ident)
+			return ok && id.Name == "panic"
+		},
+	})
+	checkInvariants(t, g)
+	return g
+}
+
+// checkInvariants verifies pred/succ symmetry and index consistency.
+func checkInvariants(t *testing.T, g *CFG) {
+	t.Helper()
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Fatalf("block %d has index %d", i, b.Index)
+		}
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("b%d -> b%d missing pred backlink", b.Index, s.Index)
+			}
+		}
+	}
+	if len(g.Exit.Nodes) != 0 || len(g.Panic.Nodes) != 0 {
+		t.Fatalf("exit/panic blocks must hold no nodes")
+	}
+}
+
+// reachable returns the set of block indexes reachable from entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\ny := 2\n_ = x\n_ = y")
+	if len(g.Entry.Nodes) != 4 {
+		t.Fatalf("entry nodes = %d, want 4", len(g.Entry.Nodes))
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n\tx = 2\n} else {\n\tx = 3\n}\n_ = x")
+	// Entry (x:=1, cond) branches to then and else, both converge.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("cond block succs = %d, want 2:\n%s", len(g.Entry.Succs), g)
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n\tx = 2\n}\n_ = x")
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("cond block should branch to then and after:\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, "s := 0\nfor i := 0; i < 10; i++ {\n\ts += i\n}\n_ = s")
+	// Some block must have a successor with a smaller index (the back edge).
+	hasBack := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != g.Exit && s != g.Panic {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("no loop back edge:\n%s", g)
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := build(t, "xs := []int{1, 2}\nt := 0\nfor _, x := range xs {\n\tt += x\n}\n_ = t")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopNoExit(t *testing.T) {
+	g := build(t, "for {\n\t_ = 1\n}")
+	if reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit should be unreachable for for{}:\n%s", g)
+	}
+}
+
+func TestBreakEscapesLoop(t *testing.T) {
+	g := build(t, "for {\n\tbreak\n}\n_ = 1")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("break should make exit reachable:\n%s", g)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := build(t, `outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if i == 2 {
+				break outer
+			}
+		}
+	}
+	_ = 1`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := build(t, "x := 1\ngoto done\ndone:\n_ = x")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, "x := 0\nagain:\nx++\nif x < 3 {\n\tgoto again\n}")
+	hasBack := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != g.Exit && s != g.Panic {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("goto back edge missing:\n%s", g)
+	}
+}
+
+func TestReturnEdges(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n\treturn\n}\n_ = x")
+	if len(g.Exit.Preds) < 2 {
+		t.Fatalf("exit should have the return and the fallthrough as preds:\n%s", g)
+	}
+}
+
+func TestPanicEdge(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n\tpanic(\"bad\")\n}\n_ = x")
+	if len(g.Panic.Preds) != 1 {
+		t.Fatalf("panic block preds = %d, want 1:\n%s", len(g.Panic.Preds), g)
+	}
+	if !reachable(g)[g.Panic.Index] {
+		t.Fatalf("panic block unreachable:\n%s", g)
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	// Without default: cond must edge to after directly.
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n\tx = 2\ncase 2:\n\tx = 3\n}\n_ = x")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// Fallthrough: case 1's body must reach case 2's body.
+	g = build(t, "x := 1\nswitch x {\ncase 1:\n\tx = 2\n\tfallthrough\ncase 2:\n\tx = 3\ndefault:\n\tx = 4\n}\n_ = x")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := build(t, "var v any = 1\nswitch v.(type) {\ncase int:\n\t_ = 1\ncase string:\n\t_ = 2\ndefault:\n\t_ = 3\n}")
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `ch := make(chan int)
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+		_ = 2
+	}`)
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestDeferStaysInBlock(t *testing.T) {
+	g := build(t, "defer println(1)\n_ = 2")
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("defer should be an ordinary node in its block:\n%s", g)
+	}
+}
+
+func TestNoDescentIntoFuncLit(t *testing.T) {
+	g := build(t, "f := func() {\n\tfor {\n\t}\n}\nf()")
+	// The closure's infinite loop must not affect the outer graph.
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	if len(g.Blocks) != 3 {
+		t.Fatalf("expected only entry/exit/panic blocks, got %d:\n%s", len(g.Blocks), g)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	s := g.String()
+	if !strings.Contains(s, "(exit)") || !strings.Contains(s, "(panic)") {
+		t.Fatalf("String() missing exit/panic markers: %q", s)
+	}
+}

@@ -1,0 +1,126 @@
+// Package dataflow implements a generic iterative dataflow solver over the
+// control-flow graphs built by internal/lint/cfg. Analyses describe a
+// lattice (bottom, join, equality) and a per-node transfer function; Solve
+// runs a deterministic worklist to the fixed point and returns the state at
+// every block boundary. Analyzers then re-apply the transfer function inside
+// a block to recover per-node states when reporting.
+package dataflow
+
+import (
+	"go/ast"
+
+	"ccsvm/internal/lint/cfg"
+)
+
+// Direction selects whether states propagate along or against control flow.
+type Direction int
+
+const (
+	// Forward propagates states from Entry toward Exit.
+	Forward Direction = iota
+	// Backward propagates states from Exit and Panic toward Entry.
+	Backward
+)
+
+// Problem describes one dataflow analysis over lattice states of type S.
+// S must be treated as immutable by Join and Transfer: they return new
+// states and never mutate their arguments, since states are shared between
+// blocks.
+type Problem[S any] struct {
+	// Dir is the propagation direction.
+	Dir Direction
+	// Boundary is the state at the graph boundary: Entry for forward
+	// problems, Exit and Panic for backward ones.
+	Boundary S
+	// Bottom is the lattice bottom, the initial state of every other block
+	// edge. Join(Bottom, x) must equal x.
+	Bottom S
+	// Join merges the states of converging paths.
+	Join func(a, b S) S
+	// Equal reports whether two states are equal; the solver iterates until
+	// no block's result changes under Equal.
+	Equal func(a, b S) bool
+	// Transfer applies one CFG node's effect to a state. For backward
+	// problems it is applied to the nodes of a block in reverse order.
+	Transfer func(n ast.Node, s S) S
+}
+
+// Result holds the fixed-point states at every block boundary, indexed by
+// cfg.Block.Index. In is the state before the block's first node and Out the
+// state after its last, in execution order regardless of direction.
+type Result[S any] struct {
+	In  []S
+	Out []S
+}
+
+// Solve runs the worklist algorithm to the fixed point. It visits blocks in
+// a deterministic order (index-ordered seeding, FIFO re-queueing), so results
+// are reproducible run to run.
+func Solve[S any](g *cfg.CFG, p Problem[S]) *Result[S] {
+	n := len(g.Blocks)
+	res := &Result[S]{In: make([]S, n), Out: make([]S, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = p.Bottom
+		res.Out[i] = p.Bottom
+	}
+
+	queue := make([]int, 0, n)
+	queued := make([]bool, n)
+	push := func(i int) {
+		if !queued[i] {
+			queued[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		push(i)
+	}
+
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		queued[i] = false
+		blk := g.Blocks[i]
+
+		if p.Dir == Forward {
+			in := p.Bottom
+			if blk == g.Entry {
+				in = p.Join(in, p.Boundary)
+			}
+			for _, pred := range blk.Preds {
+				in = p.Join(in, res.Out[pred.Index])
+			}
+			out := in
+			for _, node := range blk.Nodes {
+				out = p.Transfer(node, out)
+			}
+			changed := !p.Equal(in, res.In[i]) || !p.Equal(out, res.Out[i])
+			res.In[i], res.Out[i] = in, out
+			if changed {
+				for _, s := range blk.Succs {
+					push(s.Index)
+				}
+			}
+		} else {
+			out := p.Bottom
+			if blk == g.Exit || blk == g.Panic {
+				out = p.Join(out, p.Boundary)
+			}
+			for _, succ := range blk.Succs {
+				out = p.Join(out, res.In[succ.Index])
+			}
+			in := out
+			for k := len(blk.Nodes) - 1; k >= 0; k-- {
+				in = p.Transfer(blk.Nodes[k], in)
+			}
+			changed := !p.Equal(in, res.In[i]) || !p.Equal(out, res.Out[i])
+			res.In[i], res.Out[i] = in, out
+			if changed {
+				for _, pr := range blk.Preds {
+					push(pr.Index)
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,189 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"ccsvm/internal/lint/cfg"
+)
+
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// set is a string-set lattice joined by union.
+type set map[string]bool
+
+func join(a, b set) set {
+	out := set{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func equal(a, b set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func names(s set) string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// assignedVars returns a forward may-assign problem: the state at a point is
+// the set of variable names assigned on some path reaching it.
+func assignedVars() Problem[set] {
+	return Problem[set]{
+		Dir:      Forward,
+		Boundary: set{},
+		Bottom:   set{},
+		Join:     join,
+		Equal:    equal,
+		Transfer: func(n ast.Node, s set) set {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return s
+			}
+			out := join(s, nil)
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					out[id.Name] = true
+				}
+			}
+			return out
+		},
+	}
+}
+
+func solveAssigned(t *testing.T, body string) (*cfg.CFG, *Result[set]) {
+	t.Helper()
+	g := cfg.New(parseBody(t, body), cfg.Options{})
+	return g, Solve(g, assignedVars())
+}
+
+func TestForwardStraightLine(t *testing.T) {
+	g, res := solveAssigned(t, "x := 1\ny := x")
+	if got := names(res.In[g.Exit.Index]); got != "x,y" {
+		t.Fatalf("exit in = %q, want x,y", got)
+	}
+}
+
+func TestForwardBranchJoin(t *testing.T) {
+	// y is assigned on only one path; both x and y are may-assigned at exit.
+	g, res := solveAssigned(t, "x := 1\nif x > 0 {\n\ty := 2\n\t_ = y\n}")
+	if got := names(res.In[g.Exit.Index]); got != "x,y" {
+		t.Fatalf("exit in = %q, want x,y", got)
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	// z is assigned only inside the loop; the fixed point must carry it
+	// around the back edge and out to the exit.
+	g, res := solveAssigned(t, "x := 1\nfor x < 10 {\n\tz := x\n\tx = z + 1\n}")
+	if got := names(res.In[g.Exit.Index]); got != "x,z" {
+		t.Fatalf("exit in = %q, want x,z", got)
+	}
+}
+
+// liveIdents returns a backward may-use problem: the state at a point is the
+// set of identifier names read on some path from it.
+func liveIdents() Problem[set] {
+	return Problem[set]{
+		Dir:      Backward,
+		Boundary: set{},
+		Bottom:   set{},
+		Join:     join,
+		Equal:    equal,
+		Transfer: func(n ast.Node, s set) set {
+			out := join(s, nil)
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						delete(out, id.Name)
+					}
+				}
+				for _, rhs := range n.Rhs {
+					ast.Inspect(rhs, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+						return true
+					})
+				}
+			case *ast.ExprStmt:
+				ast.Inspect(n, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+func TestBackwardLiveness(t *testing.T) {
+	g := cfg.New(parseBody(t, "x := 1\ny := 2\nprintln(y)"), cfg.Options{})
+	res := Solve(g, liveIdents())
+	// Before the first statement nothing is live (x and y are killed by
+	// their defs); after the first def, y's use keeps it live going in.
+	entryIn := res.In[g.Entry.Index]
+	if entryIn["x"] || entryIn["y"] {
+		t.Fatalf("entry in = %q, want no locals live", names(entryIn))
+	}
+}
+
+func TestBackwardBranch(t *testing.T) {
+	g := cfg.New(parseBody(t, "x := 1\ny := 2\nif x > 0 {\n\tprintln(y)\n}"), cfg.Options{})
+	res := Solve(g, liveIdents())
+	// y is live out of its own def block because one path uses it.
+	out := res.Out[g.Entry.Index]
+	if !out["y"] {
+		t.Fatalf("y should be live out of entry, got %q", names(out))
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	const body = "x := 1\nfor x < 4 {\n\ty := x\n\tx = y + 1\n}\nz := x\n_ = z"
+	g1, r1 := solveAssigned(t, body)
+	for i := 0; i < 5; i++ {
+		g2, r2 := solveAssigned(t, body)
+		if len(g1.Blocks) != len(g2.Blocks) {
+			t.Fatalf("block counts differ")
+		}
+		for b := range g1.Blocks {
+			if names(r1.In[b]) != names(r2.In[b]) || names(r1.Out[b]) != names(r2.Out[b]) {
+				t.Fatalf("nondeterministic result at block %d", b)
+			}
+		}
+	}
+}

@@ -73,10 +73,19 @@ func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 }
 
+// engineImportPaths are the import paths the simulation engine may live at:
+// the real package, and the bare directory-name path the linttest loader
+// assigns to the fixture engine.
+var engineImportPaths = map[string]bool{
+	"ccsvm/internal/sim": true,
+	"sim":                true,
+}
+
 // isEngineSchedule reports whether the call is sim.Engine.At/AtArg/Schedule/
-// ScheduleArg. The receiver is matched by type name (Engine in a package
-// named sim) rather than import path, so the check works identically on the
-// real engine and on the linttest fixtures.
+// ScheduleArg. The receiver type is resolved via go/types object identity —
+// the named type's object must be the package-scope Engine of an engine
+// import path — so a same-named type in an unrelated package can neither
+// trigger nor mask findings.
 func isEngineSchedule(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok || !scheduleMethods[sel.Sel.Name] {
@@ -99,7 +108,11 @@ func isEngineSchedule(pass *analysis.Pass, call *ast.CallExpr) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Engine" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+	pkg := obj.Pkg()
+	if pkg == nil || !engineImportPaths[pkg.Path()] {
+		return false
+	}
+	return pkg.Scope().Lookup("Engine") == obj
 }
 
 // capturedVars returns the names of local variables of the enclosing function

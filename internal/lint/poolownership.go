@@ -2,24 +2,35 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 
 	"ccsvm/internal/lint/analysis"
+	"ccsvm/internal/lint/cfg"
+	"ccsvm/internal/lint/dataflow"
 )
 
 // PoolOwnership enforces the explicit receiver-release ownership contract of
 // the pooled hot-path objects (coherence.Msg, sim.Event, noc.Message): a
-// value obtained from a //ccsvm:pooled get source must, on every path through
-// the function that obtained it, either be released through a //ccsvm:pooled
-// put function or transferred away (passed to a call, returned, stored, or
-// captured) — and must never be released twice in straight-line code. Leaked
-// and double-released messages are exactly the bug class the runtime pool
-// accounting (coherence.SumPoolStats, Engine.LiveEvents) catches only after a
-// stress soak; this analyzer catches the obvious cases at compile time.
+// value obtained from a //ccsvm:pooled get source must, on every control-flow
+// path through the function that obtained it, either be released through a
+// //ccsvm:pooled put function or transferred away (passed to a call,
+// returned, stored, sent, or captured) — and must never be released twice,
+// including on converging paths. The analysis is flow-sensitive: each
+// function body is lowered to a control-flow graph (internal/lint/cfg) and a
+// forward dataflow problem (internal/lint/dataflow) tracks the ownership
+// lattice {pending, released, transferred} across branches, loops, and
+// defers. A deferred release is modeled at its registration point, which is
+// sound for both checks: a registered release runs exactly once per
+// registration, on every exit. Leaked and double-released messages are
+// exactly the bug class the runtime pool accounting (coherence.SumPoolStats,
+// Engine.LiveEvents) catches only after a stress soak; this analyzer catches
+// them at compile time.
 var PoolOwnership = &analysis.Analyzer{
 	Name: "poolownership",
 	Doc: "require pooled objects from //ccsvm:pooled get sources to be released or\n" +
-		"transferred on every path, and flag syntactic double releases",
+		"transferred on every path, and flag double releases on any path",
 	Run: runPoolOwnership,
 }
 
@@ -45,9 +56,18 @@ func runPoolOwnership(pass *analysis.Pass) (any, error) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				po.checkBody(fn.Body)
+				po.checkFunc(fn.Body)
 			}
 		}
+		// Function literals are independent functions: a pooled object
+		// obtained inside a closure must be handled inside that closure, and
+		// the enclosing function sees the capture as a transfer.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				po.checkFunc(lit.Body)
+			}
+			return true
+		})
 	}
 	return nil, nil
 }
@@ -55,6 +75,278 @@ func runPoolOwnership(pass *analysis.Pass) (any, error) {
 type poolChecker struct {
 	pass *analysis.Pass
 	ann  *Annotations
+}
+
+// Ownership lattice bits. The per-path state of one tracked object is a set
+// of these; the join over converging paths is the union.
+const (
+	// ownPending: the object is owned here and not yet released or
+	// transferred on this path.
+	ownPending uint8 = 1 << iota
+	// ownReleased: the object was released (//ccsvm:pooled put) on this path.
+	ownReleased
+	// ownTransferred: ownership moved away (call arg, return, store, send,
+	// capture) on this path.
+	ownTransferred
+)
+
+// ownState is the dataflow lattice state for one tracked object: the union
+// of per-path ownership bits plus the positions of the releases that may
+// have happened on some path (for double-release messages). States are
+// immutable; transfer and join return new values.
+type ownState struct {
+	bits uint8
+	rel  []token.Pos // sorted ascending, deduplicated
+}
+
+func joinOwn(a, b ownState) ownState {
+	out := ownState{bits: a.bits | b.bits}
+	out.rel = mergePos(a.rel, b.rel)
+	return out
+}
+
+func equalOwn(a, b ownState) bool {
+	if a.bits != b.bits || len(a.rel) != len(b.rel) {
+		return false
+	}
+	for i := range a.rel {
+		if a.rel[i] != b.rel[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergePos unions two sorted position slices.
+func mergePos(a, b []token.Pos) []token.Pos {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]token.Pos, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:1]
+	for _, p := range out[1:] {
+		if p != dedup[len(dedup)-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup
+}
+
+// tracked is one object under ownership analysis in a function body.
+type tracked struct {
+	obj types.Object
+	// binds are the assignments binding obj to a pooled get result, in
+	// source order. Empty for objects tracked only for double release (for
+	// example parameters that the body releases).
+	binds []*ast.AssignStmt
+}
+
+// checkFunc analyzes one function (or function literal) body: it collects
+// the pooled objects the body gets or releases, builds the body's CFG, and
+// solves a forward ownership problem per object. Nested function literals
+// are skipped throughout (they are separate functions).
+func (po *poolChecker) checkFunc(body *ast.BlockStmt) {
+	objs := po.collectTracked(body)
+	if len(objs) == 0 {
+		return
+	}
+	g := cfg.New(body, cfg.Options{
+		IsPanic: func(c *ast.CallExpr) bool { return isPanicCall(po.pass, c) },
+	})
+	for _, tr := range objs {
+		po.checkObject(g, tr)
+	}
+}
+
+// collectTracked scans a body (not descending into function literals) for
+// pooled-get bindings and pooled-put releases, reporting dropped get results
+// along the way. It returns the objects to analyze, in source order.
+func (po *poolChecker) collectTracked(body *ast.BlockStmt) []*tracked {
+	byObj := make(map[types.Object]*tracked)
+	var order []types.Object
+	track := func(obj types.Object) *tracked {
+		tr := byObj[obj]
+		if tr == nil {
+			tr = &tracked{obj: obj}
+			byObj[obj] = tr
+			order = append(order, obj)
+		}
+		return tr
+	}
+	walkNoFuncLit(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && po.pooledArgOf(call) == "get" {
+				po.pass.Reportf(call.Pos(), "result of pooled get %s is dropped; the object leaks",
+					exprString(call.Fun))
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return // pools hand out single values; multi-assign is out of scope
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok || po.pooledArgOf(call) != "get" {
+				return
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return // stored straight into a field or element: a transfer
+			}
+			if id.Name == "_" {
+				po.pass.Reportf(call.Pos(), "result of pooled get %s is dropped; the object leaks",
+					exprString(call.Fun))
+				return
+			}
+			if obj := po.defOrUse(id); obj != nil {
+				tr := track(obj)
+				tr.binds = append(tr.binds, n)
+			}
+		case *ast.CallExpr:
+			if po.pooledArgOf(n) == "put" {
+				if obj := po.releasedObj(n); obj != nil {
+					track(obj) // double-release tracking even without a get
+				}
+			}
+		}
+	})
+	out := make([]*tracked, 0, len(order))
+	for _, obj := range order {
+		out = append(out, byObj[obj])
+	}
+	return out
+}
+
+// checkObject solves the forward ownership problem for one object over the
+// function's CFG and reports double releases (at the offending release) and
+// leaks (at the get binding).
+func (po *poolChecker) checkObject(g *cfg.CFG, tr *tracked) {
+	bindSet := make(map[ast.Node]bool, len(tr.binds))
+	for _, b := range tr.binds {
+		bindSet[b] = true
+	}
+	transfer := func(n ast.Node, s ownState) ownState {
+		if bindSet[n] {
+			// A fresh pooled value: prior state is overwritten.
+			return ownState{bits: ownPending}
+		}
+		if po.assignsTo(n, tr.obj) {
+			// Reassigned to something else: the variable no longer names the
+			// tracked value.
+			return ownState{}
+		}
+		if put := po.putCallIn(n, tr.obj); put != nil {
+			return ownState{
+				bits: (s.bits &^ ownPending) | ownReleased,
+				rel:  mergePos(s.rel, []token.Pos{put.Pos()}),
+			}
+		}
+		if po.consumes(n, tr.obj) {
+			return ownState{bits: (s.bits &^ ownPending) | ownTransferred, rel: s.rel}
+		}
+		return s
+	}
+	res := dataflow.Solve(g, dataflow.Problem[ownState]{
+		Dir:      dataflow.Forward,
+		Boundary: ownState{},
+		Bottom:   ownState{},
+		Join:     joinOwn,
+		Equal:    equalOwn,
+		Transfer: transfer,
+	})
+
+	// Double releases: re-walk each block applying the transfer function,
+	// checking the in-state at every release site.
+	for _, blk := range g.Blocks {
+		s := res.In[blk.Index]
+		for _, n := range blk.Nodes {
+			if put := po.putCallIn(n, tr.obj); put != nil && s.bits&ownReleased != 0 && len(s.rel) > 0 {
+				po.pass.Reportf(put.Pos(), "double release of %s (already released at %s)",
+					tr.obj.Name(), po.pass.Fset.Position(s.rel[0]))
+			}
+			s = transfer(n, s)
+		}
+	}
+
+	// Leaks: a get-bound object still pending at the normal exit was not
+	// consumed on some path. (Leaking on a panic path is acceptable.)
+	if len(tr.binds) == 0 {
+		return
+	}
+	exit := res.In[g.Exit.Index]
+	if exit.bits&ownPending == 0 {
+		return
+	}
+	pos := tr.binds[0].Pos()
+	if exit.bits == ownPending {
+		po.pass.Reportf(pos, "pooled object %s is never released or transferred "+
+			"after this get; it leaks", tr.obj.Name())
+	} else {
+		po.pass.Reportf(pos, "pooled object %s may leak: it is not released or "+
+			"transferred on every path to function exit", tr.obj.Name())
+	}
+}
+
+// assignsTo reports whether the node reassigns obj to something other than a
+// tracked get binding (which the caller checks first).
+func (po *poolChecker) assignsTo(n ast.Node, obj types.Object) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && po.defOrUse(id) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// putCallIn returns the pooled put call inside the node that releases obj,
+// or nil. Function literal bodies are skipped (the closure runs later), and
+// `go` statements are skipped (the release is asynchronous: that is a
+// transfer, handled by the consuming-context walk).
+func (po *poolChecker) putCallIn(n ast.Node, obj types.Object) *ast.CallExpr {
+	var found *ast.CallExpr
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		if n == nil || found != nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return
+		case *ast.CallExpr:
+			if po.pooledArgOf(n) == "put" && po.releasedObj(n) == obj {
+				found = n
+				return
+			}
+		}
+		for _, c := range childrenOf(n) {
+			visit(c)
+		}
+	}
+	visit(n)
+	return found
+}
+
+// walkNoFuncLit walks every node under root in source order, without
+// descending into function literals.
+func walkNoFuncLit(root ast.Node, f func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
 }
 
 // pooledArgOf resolves a call's static callee and returns its pooled
@@ -83,108 +375,6 @@ func (po *poolChecker) pooledArgOf(call *ast.CallExpr) string {
 	return ""
 }
 
-// checkBody analyzes one function (or function literal) body. Nested literals
-// are checked independently: a pooled object obtained inside a closure must be
-// handled inside that closure.
-func (po *poolChecker) checkBody(body *ast.BlockStmt) {
-	po.checkList(body.List)
-	// Recurse into nested function literals as independent bodies.
-	ast.Inspect(body, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			po.checkBody(lit.Body)
-			return false
-		}
-		return true
-	})
-}
-
-// checkList scans one statement list: it finds get-call bindings and runs the
-// every-path consumption analysis from the binding point, flags dropped get
-// results, tracks straight-line double releases, and recurses into nested
-// statement lists.
-func (po *poolChecker) checkList(stmts []ast.Stmt) {
-	released := make(map[types.Object]ast.Node) // straight-line release state
-	for i, s := range stmts {
-		switch s := s.(type) {
-		case *ast.ExprStmt:
-			if call, ok := s.X.(*ast.CallExpr); ok {
-				switch po.pooledArgOf(call) {
-				case "get":
-					po.pass.Reportf(call.Pos(), "result of pooled get %s is dropped; the object leaks",
-						exprString(call.Fun))
-				case "put":
-					if obj := po.releasedObj(call); obj != nil {
-						if prev, ok := released[obj]; ok {
-							po.pass.Reportf(call.Pos(),
-								"double release of %s (already released at %s)",
-								obj.Name(), po.pass.Fset.Position(prev.Pos()))
-						} else {
-							released[obj] = call
-						}
-						continue
-					}
-				}
-			}
-		case *ast.AssignStmt:
-			// A fresh binding or reassignment resets the release state and, for
-			// get calls, starts the ownership analysis.
-			for _, lhs := range s.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok {
-					if obj := po.defOrUse(id); obj != nil {
-						delete(released, obj)
-					}
-				}
-			}
-			if len(s.Rhs) == 1 {
-				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && po.pooledArgOf(call) == "get" {
-					po.checkBinding(s, call, stmts[i+1:])
-				}
-			}
-		}
-		// Any other mention of a released object is ignored for double-release
-		// purposes (the dynamic pool accounting still covers those paths).
-		po.checkNested(s)
-	}
-}
-
-// checkNested recurses into the statement lists contained in one statement,
-// without crossing into function literals (handled by checkBody).
-func (po *poolChecker) checkNested(s ast.Stmt) {
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		po.checkList(s.List)
-	case *ast.IfStmt:
-		po.checkList(s.Body.List)
-		if s.Else != nil {
-			po.checkNested(s.Else)
-		}
-	case *ast.ForStmt:
-		po.checkList(s.Body.List)
-	case *ast.RangeStmt:
-		po.checkList(s.Body.List)
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				po.checkList(cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				po.checkList(cc.Body)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				po.checkList(cc.Body)
-			}
-		}
-	case *ast.LabeledStmt:
-		po.checkNested(s.Stmt)
-	}
-}
-
 // releasedObj returns the object being released by a put call: the single
 // identifier argument, or the receiver of a put method called on the object
 // itself.
@@ -211,161 +401,6 @@ func (po *poolChecker) defOrUse(id *ast.Ident) types.Object {
 	return po.pass.TypesInfo.Uses[id]
 }
 
-// checkBinding analyzes one `x := pool.Get(...)` binding: x must be consumed
-// (released or transferred) on every path from here to function exit.
-func (po *poolChecker) checkBinding(assign *ast.AssignStmt, call *ast.CallExpr, rest []ast.Stmt) {
-	if len(assign.Lhs) != 1 {
-		return // pools hand out single values; multi-assign is out of scope
-	}
-	id, ok := assign.Lhs[0].(*ast.Ident)
-	if !ok {
-		return
-	}
-	if id.Name == "_" {
-		po.pass.Reportf(call.Pos(), "result of pooled get %s is dropped; the object leaks",
-			exprString(call.Fun))
-		return
-	}
-	obj := po.defOrUse(id)
-	if obj == nil {
-		return
-	}
-	if !po.mentioned(rest, obj) {
-		po.pass.Reportf(assign.Pos(), "pooled object %s is never released or transferred "+
-			"after this get; it leaks", obj.Name())
-		return
-	}
-	if !po.allPathsConsume(rest, obj, false) {
-		po.pass.Reportf(assign.Pos(), "pooled object %s may leak: it is not released or "+
-			"transferred on every path to function exit", obj.Name())
-	}
-}
-
-// mentioned reports whether obj appears anywhere in the statements.
-func (po *poolChecker) mentioned(stmts []ast.Stmt, obj types.Object) bool {
-	for _, s := range stmts {
-		found := false
-		ast.Inspect(s, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok && po.pass.TypesInfo.Uses[id] == obj {
-				found = true
-			}
-			return !found
-		})
-		if found {
-			return true
-		}
-	}
-	return false
-}
-
-// allPathsConsume reports whether every path from the start of stmts to
-// function exit consumes obj. after is the verdict for falling off the end of
-// the list (the continuation's verdict).
-func (po *poolChecker) allPathsConsume(stmts []ast.Stmt, obj types.Object, after bool) bool {
-	if len(stmts) == 0 {
-		return after
-	}
-	s, rest := stmts[0], stmts[1:]
-	restOK := func() bool { return po.allPathsConsume(rest, obj, after) }
-	switch s := s.(type) {
-	case *ast.ReturnStmt:
-		return po.consumes(s, obj)
-	case *ast.IfStmt:
-		if s.Init != nil && po.consumes(s.Init, obj) {
-			return true
-		}
-		if po.consumesExpr(s.Cond, obj) {
-			return true
-		}
-		r := restOK()
-		thenOK := po.allPathsConsume(s.Body.List, obj, r)
-		elseOK := r
-		if s.Else != nil {
-			switch e := s.Else.(type) {
-			case *ast.BlockStmt:
-				elseOK = po.allPathsConsume(e.List, obj, r)
-			case *ast.IfStmt:
-				elseOK = po.allPathsConsume([]ast.Stmt{e}, obj, r)
-			}
-		}
-		return thenOK && elseOK
-	case *ast.BlockStmt:
-		return po.allPathsConsume(s.List, obj, restOK())
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		var clauses [][]ast.Stmt
-		hasDefault := false
-		body := switchBody(s)
-		for _, c := range body {
-			switch cc := c.(type) {
-			case *ast.CaseClause:
-				clauses = append(clauses, cc.Body)
-				if cc.List == nil {
-					hasDefault = true
-				}
-			case *ast.CommClause:
-				clauses = append(clauses, cc.Body)
-				if cc.Comm == nil {
-					hasDefault = true
-				}
-			}
-		}
-		r := restOK()
-		all := true
-		for _, body := range clauses {
-			if !po.allPathsConsume(body, obj, r) {
-				all = false
-			}
-		}
-		if _, isSelect := s.(*ast.SelectStmt); isSelect {
-			hasDefault = true // a select blocks until some clause runs
-		}
-		if !hasDefault {
-			return all && r
-		}
-		return all
-	case *ast.ForStmt, *ast.RangeStmt:
-		// Loops may run zero times, so a guarantee cannot come from the body
-		// alone; but in practice a loop that mentions the object consumingly is
-		// a retry/flush loop that runs at least once. Treat it as consuming to
-		// keep false positives out of real code.
-		if po.consumes(s, obj) {
-			return true
-		}
-		return restOK()
-	case *ast.LabeledStmt:
-		return po.allPathsConsume(append([]ast.Stmt{s.Stmt}, rest...), obj, after)
-	case *ast.ExprStmt:
-		if isPanicCall(po.pass, s.X) {
-			return true // panic exits; leaking on a crash path is acceptable
-		}
-		if po.consumes(s, obj) {
-			return true
-		}
-		return restOK()
-	case *ast.BranchStmt:
-		// break/continue/goto leave this list; be conservative and require the
-		// surrounding continuation to consume.
-		return after
-	default:
-		if po.consumes(s, obj) {
-			return true
-		}
-		return restOK()
-	}
-}
-
-func switchBody(s ast.Stmt) []ast.Stmt {
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		return s.Body.List
-	case *ast.TypeSwitchStmt:
-		return s.Body.List
-	case *ast.SelectStmt:
-		return s.Body.List
-	}
-	return nil
-}
-
 func isPanicCall(pass *analysis.Pass, e ast.Expr) bool {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
@@ -379,9 +414,8 @@ func isPanicCall(pass *analysis.Pass, e ast.Expr) bool {
 	return ok && b.Name() == "panic"
 }
 
-// consumes reports whether the statement (without descending into nested
-// statement bodies, which the path analysis handles structurally) contains a
-// consuming use of obj.
+// consumes reports whether the node (without descending into function
+// literal bodies beyond the capture itself) contains a consuming use of obj.
 func (po *poolChecker) consumes(n ast.Node, obj types.Object) bool {
 	found := false
 	var visit func(n ast.Node, parents []ast.Node)
@@ -402,13 +436,6 @@ func (po *poolChecker) consumes(n ast.Node, obj types.Object) bool {
 	}
 	visit(n, nil)
 	return found
-}
-
-func (po *poolChecker) consumesExpr(e ast.Expr, obj types.Object) bool {
-	if e == nil {
-		return false
-	}
-	return po.consumes(e, obj)
 }
 
 // isConsumingContext classifies one use of the tracked object by its
@@ -479,7 +506,7 @@ func containsNode(root, target ast.Node) bool {
 }
 
 // childrenOf returns the direct child nodes of n, used by the context-aware
-// walker to maintain an accurate parent stack.
+// walkers to maintain accurate parent stacks.
 func childrenOf(n ast.Node) []ast.Node {
 	var out []ast.Node
 	first := true

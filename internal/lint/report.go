@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"ccsvm/internal/lint/analysis"
+)
+
+// This file renders suite findings for machine consumption. Two formats are
+// supported beyond the human-readable text lines the driver prints:
+//
+//   - JSON: a small, stable schema for scripting against lint output
+//     (jq-style triage, trend dashboards).
+//   - SARIF 2.1.0: the static-analysis interchange format GitHub code
+//     scanning and most review tooling ingest, so ccsvm-lint findings can be
+//     annotated onto pull requests without a bespoke adapter.
+//
+// Both writers emit a complete document even when there are no findings, so
+// a clean run uploads a valid (empty) report artifact.
+
+// jsonReport is the top-level document emitted by WriteJSON.
+type jsonReport struct {
+	// Findings holds one entry per diagnostic, in the driver's sorted order
+	// (file, line, column, message).
+	Findings []jsonFinding `json:"findings"`
+	// Count duplicates len(findings) for cheap shell consumption.
+	Count int `json:"count"`
+}
+
+// jsonFinding is one diagnostic in the JSON report.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as a single JSON document. Paths are emitted
+// slash-separated and, when they fall under root, relative to it, so reports
+// are stable across checkouts; pass root == "" to keep paths verbatim.
+func WriteJSON(w io.Writer, findings []Finding, root string) error {
+	doc := jsonReport{Findings: make([]jsonFinding, 0, len(findings)), Count: len(findings)}
+	for _, f := range findings {
+		doc.Findings = append(doc.Findings, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     relPath(root, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// SARIF 2.1.0 document skeleton — only the fields the format requires plus
+// the ones review tooling actually reads (rule metadata, result locations).
+type sarifDoc struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 document with one run whose
+// rules are the given analyzers (so rule metadata is present even for
+// analyzers with no findings). Paths are relativized against root as in
+// WriteJSON. Every finding is reported at level "error": the suite enforces
+// invariants, it has no warnings.
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*analysis.Analyzer, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	ruleIndex := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		ruleIndex[a.Name] = i
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := ruleIndex[f.Analyzer]
+		if !ok {
+			// A finding from an analyzer outside the rule table would make
+			// ruleIndex lie; fail loudly rather than emit a corrupt report.
+			return fmt.Errorf("lint: finding from unknown analyzer %q", f.Analyzer)
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(root, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	doc := sarifDoc{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "ccsvm-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// relPath rewrites path relative to root (when it falls under it) and
+// slash-separates it, yielding checkout-independent report paths.
+func relPath(root, path string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && filepath.IsLocal(rel) {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}

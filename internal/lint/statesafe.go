@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+
+	"ccsvm/internal/lint/analysis"
+)
+
+// StateSafe certifies machine-state root types for checkpointing (ROADMAP
+// item 2): a type annotated //ccsvm:state must have a reachable field
+// closure free of func values, channels, unsafe.Pointer and sync primitives
+// — anything that cannot be serialized and restored deterministically.
+// Individual fields that are rebuilt on restore rather than serialized
+// (bound callbacks, free lists' allocator hooks) are waived with
+// //ccsvm:stateok; waivers are exported as facts so closure walks honor them
+// across package boundaries. Interface-typed fields stop the walk: their
+// dynamic contents are a runtime property the checkpoint layer must handle,
+// not a static one.
+var StateSafe = &analysis.Analyzer{
+	Name: "statesafe",
+	Doc: "require the reachable field closure of //ccsvm:state types to be free of\n" +
+		"func, chan, unsafe.Pointer and sync primitives (checkpoint safety)",
+	Run: runStateSafe,
+}
+
+// stateOkFact marks a struct field as waived from statesafe closure walks in
+// importing packages.
+type stateOkFact struct{}
+
+// AFact implements analysis.Fact.
+func (*stateOkFact) AFact() {}
+
+func runStateSafe(pass *analysis.Pass) (any, error) {
+	ann := ParseAnnotations(pass.Fset, pass.Files, pass.TypesInfo)
+	var roots []*types.TypeName
+	for obj, dirs := range ann.ByObj {
+		for _, d := range dirs {
+			switch d.Kind {
+			case DirStateOk:
+				if obj != nil {
+					pass.ExportObjectFact(obj, &stateOkFact{})
+				}
+			case DirState:
+				if tn, ok := obj.(*types.TypeName); ok {
+					roots = append(roots, tn)
+				}
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	sc := &stateChecker{pass: pass, ann: ann}
+	for _, root := range roots {
+		sc.checkRoot(root)
+	}
+	return nil, nil
+}
+
+type stateChecker struct {
+	pass *analysis.Pass
+	ann  *Annotations
+}
+
+// checkRoot walks the reachable field closure of one //ccsvm:state type and
+// reports every forbidden leaf, annotated with its access path from the
+// root.
+func (sc *stateChecker) checkRoot(root *types.TypeName) {
+	visited := make(map[types.Type]bool)
+	var walk func(t types.Type, path string)
+	walk = func(t types.Type, path string) {
+		t = types.Unalias(t)
+		if visited[t] {
+			return
+		}
+		visited[t] = true
+
+		if named, ok := t.(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil {
+				switch pkg.Path() {
+				case "sync", "sync/atomic":
+					sc.reportLeaf(root, path, fmt.Sprintf("%s.%s", pkg.Name(), named.Obj().Name()))
+					return
+				}
+			}
+		}
+
+		switch u := t.Underlying().(type) {
+		case *types.Signature:
+			sc.reportLeaf(root, path, "a func value")
+		case *types.Chan:
+			sc.reportLeaf(root, path, "a channel")
+		case *types.Basic:
+			if u.Kind() == types.UnsafePointer {
+				sc.reportLeaf(root, path, "unsafe.Pointer")
+			}
+		case *types.Interface:
+			// Dynamic contents are the checkpoint layer's runtime concern;
+			// the static walk stops here.
+		case *types.Pointer:
+			walk(u.Elem(), path)
+		case *types.Slice:
+			walk(u.Elem(), path+"[]")
+		case *types.Array:
+			walk(u.Elem(), path+"[]")
+		case *types.Map:
+			walk(u.Key(), path+"[key]")
+			walk(u.Elem(), path+"[value]")
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if sc.waived(f) {
+					continue
+				}
+				walk(f.Type(), path+"."+f.Name())
+			}
+		}
+	}
+	walk(root.Type(), root.Name())
+}
+
+// reportLeaf emits one forbidden-leaf finding at the root type's position.
+func (sc *stateChecker) reportLeaf(root *types.TypeName, path, what string) {
+	sc.pass.Reportf(root.Pos(),
+		"//ccsvm:state type %s is not checkpoint-safe: %s holds %s "+
+			"(serialize-and-restore is impossible; annotate the field //ccsvm:stateok "+
+			"if it is rebuilt on restore)",
+		root.Name(), path, what)
+}
+
+// waived reports whether a struct field carries a //ccsvm:stateok waiver,
+// locally or exported by the field's own package.
+func (sc *stateChecker) waived(f *types.Var) bool {
+	if sc.ann.Has(f, DirStateOk) {
+		return true
+	}
+	var fact stateOkFact
+	return sc.pass.ImportObjectFact(f, &fact)
+}

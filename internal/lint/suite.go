@@ -6,8 +6,18 @@ import (
 
 // Analyzers returns the full ccsvm lint suite in the order cmd/ccsvm-lint
 // runs it: directive hygiene first (so a malformed annotation is reported
-// rather than silently ignored by the enforcement passes), then the three
-// invariant analyzers and the hot-path contract.
+// rather than silently ignored by the enforcement passes), then the
+// invariant analyzers — determinism, the flow-sensitive pool-ownership
+// check, engine-context reachability, the two hot-path contracts and
+// checkpoint safety.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Directives, Determinism, PoolOwnership, EngineCtx, HotPath}
+	return []*analysis.Analyzer{
+		Directives,
+		Determinism,
+		PoolOwnership,
+		EngineCtx,
+		HotPath,
+		AllocFree,
+		StateSafe,
+	}
 }

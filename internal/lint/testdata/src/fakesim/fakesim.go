@@ -1,0 +1,23 @@
+// Package sim is an impostor: it shares the real engine package's name and
+// an Engine type with an At method, but lives at a different import path.
+// The hotpath analyzer resolves the receiver by object identity, so the
+// capturing closure below must NOT be reported.
+package sim
+
+// Engine mimics the real scheduling API.
+type Engine struct {
+	queue []func()
+}
+
+// At enqueues a callback; unlike the real engine, this one is not
+// allocation-sensitive.
+func (e *Engine) At(when uint64, fn func()) {
+	e.queue = append(e.queue, fn)
+}
+
+// Drive is hot, but schedules on the impostor engine: no finding.
+//
+//ccsvm:hotpath
+func Drive(e *Engine, n int) {
+	e.At(1, func() { _ = n })
+}

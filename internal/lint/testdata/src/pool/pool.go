@@ -94,3 +94,57 @@ func TransferCall(p *Pool, deliver func(*Msg)) {
 	m := p.Get()
 	deliver(m)
 }
+
+// ConvergeDouble releases on one branch and then again unconditionally: on
+// the c path the Msg is released twice.
+func ConvergeDouble(p *Pool, m *Msg, c bool) {
+	if c {
+		p.Put(m)
+	}
+	p.Put(m) // want "double release"
+}
+
+// LoopDouble releases the same Msg on every iteration of a loop: the second
+// iteration releases an already-released object. The zero-iteration path also
+// leaks it.
+func LoopDouble(p *Pool, n int) {
+	m := p.Get() // want "may leak"
+	for i := 0; i < n; i++ {
+		p.Put(m) // want "double release"
+	}
+}
+
+// DeferDouble registers a deferred release and then releases explicitly too.
+func DeferDouble(p *Pool) {
+	m := p.Get()
+	defer p.Put(m)
+	p.Put(m) // want "double release"
+}
+
+// DeferInLoop registers one deferred release per iteration; every iteration
+// after the first releases an already-released Msg at function exit.
+func DeferInLoop(p *Pool, m *Msg, n int) {
+	for i := 0; i < n; i++ {
+		defer p.Put(m) // want "double release"
+	}
+}
+
+// SwitchLeak consumes the Msg on the listed cases but not when the switch
+// falls through without a match.
+func SwitchLeak(p *Pool, k int) {
+	m := p.Get() // want "may leak"
+	switch k {
+	case 0:
+		p.Put(m)
+	case 1:
+		sink = m
+	}
+}
+
+// LoopLeak consumes the Msg only inside a loop that may run zero times.
+func LoopLeak(p *Pool, xs []int, ch chan *Msg) {
+	m := p.Get() // want "may leak"
+	for range xs {
+		ch <- m
+	}
+}

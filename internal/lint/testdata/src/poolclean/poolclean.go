@@ -48,3 +48,56 @@ func Loop(s Source, rounds int) {
 		s.Release(b)
 	}
 }
+
+// DeferredRelease registers the release once up front and uses the Buf
+// afterwards; the deferred put runs exactly once on every exit.
+func DeferredRelease(s Source) int {
+	b := s.Acquire()
+	defer s.Release(b)
+	b.n++
+	return b.n
+}
+
+// BranchTransfer consumes on every arm of a switch with a default.
+func BranchTransfer(s Source, ch chan *Buf, k int) {
+	b := s.Acquire()
+	switch k {
+	case 0:
+		ch <- b
+	case 1:
+		s.Release(b)
+	default:
+		s.Release(b)
+	}
+}
+
+// EarlyPanic releases on the normal path; leaking on the crash path is
+// acceptable.
+func EarlyPanic(s Source, ok bool) {
+	b := s.Acquire()
+	if !ok {
+		panic("bad source state")
+	}
+	s.Release(b)
+}
+
+// GotoRelease reaches a common release label on every path.
+func GotoRelease(s Source, c bool) {
+	b := s.Acquire()
+	if c {
+		b.n = 1
+		goto done
+	}
+	b.n = 2
+done:
+	s.Release(b)
+}
+
+// Reassign rebinds the variable after releasing; each pooled value is
+// released exactly once.
+func Reassign(s Source) {
+	b := s.Acquire()
+	s.Release(b)
+	b = s.Acquire()
+	s.Release(b)
+}

@@ -1,0 +1,59 @@
+// Package state exercises the statesafe analyzer: //ccsvm:state root types
+// whose reachable field closure holds func values, channels, unsafe.Pointer
+// or sync primitives are flagged, with the offending access path.
+package state
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// HasFunc keeps a callback, which cannot be serialized.
+//
+//ccsvm:state
+type HasFunc struct { // want "HasFunc.step holds a func value"
+	Tick uint64
+	step func()
+}
+
+// HasChan keeps a channel.
+//
+//ccsvm:state
+type HasChan struct { // want "HasChan.stop holds a channel"
+	stop chan struct{}
+}
+
+// HasUnsafe keeps a raw pointer.
+//
+//ccsvm:state
+type HasUnsafe struct { // want "HasUnsafe.raw holds unsafe.Pointer"
+	raw unsafe.Pointer
+}
+
+// HasMutex embeds a sync primitive.
+//
+//ccsvm:state
+type HasMutex struct { // want "HasMutex.mu holds sync.Mutex"
+	mu sync.Mutex
+}
+
+// entry is reachable only through containers.
+type entry struct {
+	fire func()
+}
+
+// Deep reaches a func value through a map of slices of pointers.
+//
+//ccsvm:state
+type Deep struct { // want "Deep.byLine\\[value\\]\\[\\].fire holds a func value"
+	byLine map[uint64][]*entry
+}
+
+// Ring reaches a channel through an array element.
+//
+//ccsvm:state
+type Ring struct { // want "Ring.lanes\\[\\].ch holds a channel"
+	lanes [4]struct {
+		ch chan int
+	}
+}

@@ -1,0 +1,30 @@
+// Package stateclean holds //ccsvm:state roots that pass the statesafe
+// walk: plain data closures, waived callback fields (locally and through a
+// cross-package fact), and interface fields where the walk stops.
+package stateclean
+
+import "statedep"
+
+// Cache is a pure-data machine-state root.
+//
+//ccsvm:state
+type Cache struct {
+	Sets   [][]statedep.Line
+	ByAddr map[uint64]*statedep.Line
+	Tick   uint64
+	Name   string
+}
+
+// Engine holds callbacks that are re-bound on restore, each explicitly
+// waived, plus an interface-typed payload where the static walk stops.
+//
+//ccsvm:state
+type Engine struct {
+	Now  uint64
+	Pool statedep.Pool // its alloc hook is waived in statedep
+
+	//ccsvm:stateok // bound once at construction, rebuilt on restore
+	dispatch func(any)
+
+	payload any // interface: the checkpoint layer handles dynamic contents
+}

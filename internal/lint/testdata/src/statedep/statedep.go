@@ -1,0 +1,19 @@
+// Package statedep provides checkpoint-safe building blocks for the
+// stateclean fixture, exercising cross-package //ccsvm:stateok fact flow.
+package statedep
+
+// Line is plain serializable data.
+type Line struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Pool recycles Lines. Its allocator hook is rebuilt on restore, so the
+// field is waived — importing packages must honor the waiver through the
+// exported fact.
+type Pool struct {
+	Free []*Line
+
+	//ccsvm:stateok // rebuilt on restore
+	alloc func() *Line
+}

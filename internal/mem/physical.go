@@ -15,6 +15,7 @@ import (
 // lock keeps the store safe even under `go test -race` with misbehaving
 // tests.
 type Physical struct {
+	//ccsvm:stateok // zero-value lock; carries no state across a checkpoint
 	mu     sync.Mutex
 	frames map[FrameNumber][]byte
 	// size is the total bytes of installed DRAM; accesses beyond it panic,

@@ -35,8 +35,10 @@ type Config struct {
 // (translateCb, accessCb) are bound once at core construction — the hot
 // issue/translate/access path allocates nothing per operation.
 type hwContext struct {
-	idx    int
+	idx int
+	//ccsvm:stateok // goroutine-backed thread handle; software threads are re-launched on restore
 	thread *exec.Thread
+	//ccsvm:stateok // task completion callback; re-registered when tasks are re-issued on restore
 	onDone func()
 	busy   bool
 
@@ -44,11 +46,16 @@ type hwContext struct {
 	pa mem.PAddr
 	// translateCb receives the MMU translation of op.Addr; accessCb runs
 	// when the cache access for the op is globally performed.
+	//
+	//ccsvm:stateok // bound once at core construction; rebound on restore
 	translateCb func(mem.PAddr, *vm.Fault)
-	accessCb    func()
+	//ccsvm:stateok // bound once at core construction; rebound on restore
+	accessCb func()
 }
 
 // Core is one MTTOP core.
+//
+//ccsvm:state
 type Core struct {
 	engine *sim.Engine
 	cfg    Config
@@ -66,7 +73,10 @@ type Core struct {
 	// completeFn and memIssueFn are the engine callbacks for compute-op
 	// completion and memory-op issue, bound once so scheduling them never
 	// allocates a closure (the context rides as the event argument).
+	//
+	//ccsvm:stateok // bound once at construction; rebound on restore
 	completeFn func(any)
+	//ccsvm:stateok // bound once at construction; rebound on restore
 	memIssueFn func(any)
 
 	instrs     *stats.Counter

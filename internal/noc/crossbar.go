@@ -22,6 +22,8 @@ type CrossbarConfig struct {
 
 // Crossbar is a contention-light interconnect: every message pays the fixed
 // latency plus serialization against one shared bandwidth pool.
+//
+//ccsvm:state
 type Crossbar struct {
 	cfg       CrossbarConfig
 	engine    *sim.Engine
@@ -30,7 +32,8 @@ type Crossbar struct {
 
 	// pool recycles delivered messages; deliverFn is bound once so delivery
 	// scheduling allocates no closure.
-	pool      msgPool
+	pool msgPool
+	//ccsvm:stateok // bound once at construction; rebound on restore
 	deliverFn func(any)
 
 	msgs  *stats.Counter

@@ -54,6 +54,7 @@ type msgPool struct {
 // get returns a zeroed pooled message.
 //
 //ccsvm:pooled get
+//ccsvm:hotpath
 func (p *msgPool) get() *Message {
 	if n := len(p.free); n > 0 {
 		m := p.free[n-1]
@@ -61,19 +62,20 @@ func (p *msgPool) get() *Message {
 		p.free = p.free[:n-1]
 		return m
 	}
-	return &Message{fromPool: true}
+	return &Message{fromPool: true} //ccsvm:allocok // pool miss; steady state reuses the free list
 }
 
 // put recycles a delivered pooled message; caller-constructed messages are
 // left alone.
 //
 //ccsvm:pooled put
+//ccsvm:hotpath
 func (p *msgPool) put(m *Message) {
 	if !m.fromPool {
 		return
 	}
 	*m = Message{fromPool: true}
-	p.free = append(p.free, m)
+	p.free = append(p.free, m) //ccsvm:allocok // free list returns to its high-water mark
 }
 
 // Receiver is implemented by every endpoint attached to a network; the

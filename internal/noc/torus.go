@@ -53,6 +53,8 @@ type link struct {
 // Torus is a 2D torus network with dimension-order (X then Y) routing and
 // shortest-direction wraparound. Messages experience per-hop router and link
 // latency plus serialization and FIFO contention on every link they cross.
+//
+//ccsvm:state
 type Torus struct {
 	cfg    TorusConfig
 	engine *sim.Engine
@@ -67,8 +69,10 @@ type Torus struct {
 	// pool recycles delivered messages; advanceFn/deliverFn are the hop and
 	// ejection callbacks bound once so per-hop scheduling allocates nothing
 	// (the walk state lives on the message itself).
-	pool      msgPool
+	pool msgPool
+	//ccsvm:stateok // bound once at construction; rebound on restore
 	advanceFn func(any)
+	//ccsvm:stateok // bound once at construction; rebound on restore
 	deliverFn func(any)
 
 	msgs      *stats.Counter

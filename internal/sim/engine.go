@@ -20,7 +20,10 @@ type Event struct {
 	seq  uint64
 	// Exactly one of fn and afn is set. afn carries its argument in arg so
 	// hot paths can schedule without allocating a closure (see AtArg).
-	fn  func()
+	//
+	//ccsvm:stateok // callbacks are re-registered by their owning components on restore
+	fn func()
+	//ccsvm:stateok // callbacks are re-registered by their owning components on restore
 	afn func(any)
 	arg any
 	// canceled marks events removed with Cancel; they stay queued and are
@@ -61,10 +64,12 @@ func (h eventHeap) Swap(i, j int) {
 	h[i].index = i
 	h[j].index = j
 }
+
+//ccsvm:hotpath
 func (h *eventHeap) Push(x any) {
 	ev := x.(*Event)
 	ev.index = len(*h)
-	*h = append(*h, ev)
+	*h = append(*h, ev) //ccsvm:allocok // overflow heap grows to its high-water mark
 }
 func (h *eventHeap) Pop() any {
 	old := *h
@@ -99,6 +104,7 @@ type calBucket struct {
 	sorted bool
 }
 
+//ccsvm:hotpath
 func (b *calBucket) push(ev *Event) {
 	if b.head == len(b.events) {
 		b.events = b.events[:0]
@@ -108,7 +114,7 @@ func (b *calBucket) push(ev *Event) {
 	if n := len(b.events); b.sorted && n > b.head && eventLess(ev, b.events[n-1]) {
 		b.sorted = false
 	}
-	b.events = append(b.events, ev)
+	b.events = append(b.events, ev) //ccsvm:allocok // recycled backing array, grows to bucket high-water mark
 }
 
 // Engine is a single-threaded discrete-event simulation engine.
@@ -122,6 +128,8 @@ func (b *calBucket) push(ev *Event) {
 // (O(1) insert, cheap pop), far-future events into a binary heap. Both
 // structures drain in the same (time, seq) total order, so the split is
 // invisible to component models. Event objects are free-listed (see Event).
+//
+//ccsvm:state
 type Engine struct {
 	now      Time
 	seq      uint64
@@ -207,6 +215,7 @@ const eventChunk = 64
 // alloc takes an event from the free list, refilling it a chunk at a time.
 //
 //ccsvm:pooled get
+//ccsvm:hotpath
 func (e *Engine) alloc() *Event {
 	e.live++
 	if n := len(e.free); n > 0 {
@@ -215,12 +224,12 @@ func (e *Engine) alloc() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	chunk := make([]Event, eventChunk)
+	chunk := make([]Event, eventChunk) //ccsvm:allocok // amortized chunk refill, 1/64 gets
 	for i := range chunk {
 		chunk[i].index = indexPooled
 	}
 	for i := 1; i < len(chunk); i++ {
-		e.free = append(e.free, &chunk[i])
+		e.free = append(e.free, &chunk[i]) //ccsvm:allocok // free list grows with the chunk
 	}
 	return &chunk[0]
 }
@@ -228,6 +237,7 @@ func (e *Engine) alloc() *Event {
 // release returns a drained event to the free list.
 //
 //ccsvm:pooled put
+//ccsvm:hotpath
 func (e *Engine) release(ev *Event) {
 	if ev.index == indexPooled {
 		panic("sim: double release of a pooled event")
@@ -238,7 +248,7 @@ func (e *Engine) release(ev *Event) {
 	ev.arg = nil
 	ev.canceled = false
 	ev.index = indexPooled
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //ccsvm:allocok // free list returns to its high-water mark
 }
 
 // insert places a scheduled event into the calendar window or the overflow
@@ -246,6 +256,8 @@ func (e *Engine) release(ev *Event) {
 // [now>>calShift, now>>calShift + calBuckets), so a ring slot never mixes
 // events from different laps — time only moves forward, and events further
 // out go to the heap.
+//
+//ccsvm:hotpath
 func (e *Engine) insert(ev *Event) {
 	b := int64(ev.when) >> calShift
 	if b-(int64(e.now)>>calShift) < calBuckets {
@@ -263,6 +275,8 @@ func (e *Engine) insert(ev *Event) {
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in a component model, so it panics loudly rather than silently
 // reordering time.
+//
+//ccsvm:hotpath
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -280,6 +294,8 @@ func (e *Engine) At(t Time, fn func()) *Event {
 // bound once at component construction and arg a pooled message, so
 // scheduling builds no closure. Pointer-shaped args do not escape to a fresh
 // allocation when stored in the event.
+//
+//ccsvm:hotpath
 func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -293,6 +309,8 @@ func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
 }
 
 // Schedule schedules fn to run after delay relative to the current time.
+//
+//ccsvm:hotpath
 func (e *Engine) Schedule(delay Duration, fn func()) *Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
@@ -302,6 +320,8 @@ func (e *Engine) Schedule(delay Duration, fn func()) *Event {
 
 // ScheduleArg schedules fn(arg) after delay relative to the current time; it
 // is the allocation-free variant of Schedule (see AtArg).
+//
+//ccsvm:hotpath
 func (e *Engine) ScheduleArg(delay Duration, fn func(any), arg any) *Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
@@ -313,6 +333,8 @@ func (e *Engine) ScheduleArg(delay Duration, fn func(any), arg any) *Event {
 // already-canceled event is a no-op (but see Event: a handle kept after its
 // event fired may be reused by a later schedule, so long-lived holders must
 // drop handles when their callback runs).
+//
+//ccsvm:hotpath
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.canceled || ev.index == indexPooled || ev.index == indexFiring {
 		return
@@ -327,6 +349,8 @@ func (e *Engine) Cancel(ev *Event) {
 // sortEvents orders a bucket tail by (time, seq) with an allocation-free
 // insertion sort; buckets hold at most a bucket-width of events, so they stay
 // small enough that insertion sort beats the reflective sort.Slice.
+//
+//ccsvm:hotpath
 func sortEvents(evs []*Event) {
 	for i := 1; i < len(evs); i++ {
 		ev := evs[i]
@@ -342,6 +366,8 @@ func sortEvents(evs []*Event) {
 // peekCal returns the earliest live bucketed event, draining canceled ones,
 // or nil when the calendar is empty. It leaves calScan at the returned
 // event's bucket index so popNext can remove it without rescanning.
+//
+//ccsvm:hotpath
 func (e *Engine) peekCal() *Event {
 	if e.calCount == 0 {
 		return nil
@@ -377,6 +403,8 @@ func (e *Engine) peekCal() *Event {
 
 // peekOverflow returns the earliest live heap event, draining canceled ones,
 // or nil when the heap is empty.
+//
+//ccsvm:hotpath
 func (e *Engine) peekOverflow() *Event {
 	for len(e.overflow) > 0 {
 		ev := e.overflow[0]
@@ -391,6 +419,8 @@ func (e *Engine) peekOverflow() *Event {
 
 // peek returns the next event in (time, seq) order without removing it, or
 // nil when the queue is empty.
+//
+//ccsvm:hotpath
 func (e *Engine) peek() *Event {
 	cev := e.peekCal()
 	hev := e.peekOverflow()
@@ -405,6 +435,8 @@ func (e *Engine) peek() *Event {
 }
 
 // popNext removes and returns the next event, or nil when the queue is empty.
+//
+//ccsvm:hotpath
 func (e *Engine) popNext() *Event {
 	ev := e.peek()
 	if ev == nil {
@@ -424,6 +456,8 @@ func (e *Engine) popNext() *Event {
 }
 
 // Step runs the single next event. It returns false when the queue is empty.
+//
+//ccsvm:hotpath
 func (e *Engine) Step() bool {
 	ev := e.popNext()
 	if ev == nil {
