@@ -9,6 +9,7 @@
 package ccsvm_test
 
 import (
+	"fmt"
 	"testing"
 
 	"ccsvm"
@@ -27,6 +28,10 @@ func benchRun(b *testing.B, workload string, kind ccsvm.SystemKind, p ccsvm.Para
 		b.Fatalf("workload %q not registered", workload)
 	}
 	sys := ccsvm.MustSystem(kind)
+	// One arena across iterations, like a sweep worker: after the first run
+	// warms it, iterations measure the steady state the Runner and the bench
+	// CLI operate in. Results are bit-identical with or without it.
+	sys.Arena = ccsvm.NewArena()
 	p.Seed = benchSeed
 	b.ReportAllocs()
 	var last ccsvm.Result
@@ -125,6 +130,40 @@ func BenchmarkFig9DRAMAccesses(b *testing.B) {
 	}
 	b.ReportMetric(float64(last[0].Result.DRAMAccesses), "ccsvm_dram/op")
 	b.ReportMetric(float64(last[1].Result.DRAMAccesses), "apu_dram/op")
+}
+
+// BenchmarkRunnerScaling measures sweep throughput through the Runner's
+// worker pool: the same batch of paper-pair specs at 1/2/4/8/16 workers, with
+// each worker reusing its arena across runs. The events/sec ratio between
+// worker counts is the parallel-scaling trajectory cmd/ccsvm-bench records
+// into BENCH_*.json as the scaling_w<N> series.
+func BenchmarkRunnerScaling(b *testing.B) {
+	// Four copies of every registered pair: enough runs per sweep that the
+	// pool stays saturated at 16 workers.
+	base := ccsvm.Pairs(ccsvm.Params{N: 16, Density: 0.05, Seed: benchSeed})
+	var specs []ccsvm.RunSpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs, base...)
+	}
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runner := &ccsvm.Runner{Parallel: workers}
+			b.ReportAllocs()
+			var events float64
+			for i := 0; i < b.N; i++ {
+				res, err := runner.Run(specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res {
+					events += r.Result.Metrics["sim.events"]
+				}
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(events/sec, "sim_events/sec")
+			}
+		})
+	}
 }
 
 // Figures 3/4: vector-add offload cost by programming model.

@@ -6,6 +6,10 @@
 // regressions in the hot path are visible in review rather than discovered
 // months later.
 //
+// Measurement mirrors the production sweep path: each series gets a
+// machine-part Arena (as the Runner gives each of its workers one), so the
+// numbers reflect engine/memory/message-pool reuse, not per-run construction.
+//
 // Usage:
 //
 //	ccsvm-bench                       # all series, 1 iteration each, BENCH_<today>.json
@@ -13,6 +17,9 @@
 //	ccsvm-bench -out bench-artifacts  # write the JSON under a directory (CI uploads it)
 //	ccsvm-bench -date 2026-07-29      # pin the filename date (reproducible CI paths)
 //	ccsvm-bench -stdout               # also print the JSON to stdout
+//	ccsvm-bench -parallel 1,2,4,8,16  # add scaling_w<N> series: the full list through the Runner
+//	ccsvm-bench -cpuprofile cpu.pprof # profile the measured runs (pprof format)
+//	ccsvm-bench -memprofile mem.pprof # heap profile after the measured runs
 //
 // Regression mode diffs a run against a committed baseline instead of
 // writing one:
@@ -20,30 +27,39 @@
 //	ccsvm-bench -compare BENCH_2026-07-29.json             # measure, then diff
 //	ccsvm-bench -compare old.json -input new.json          # diff two files, no run
 //
-// The gate has three tiers per series, matched by name: sim_time_ps and
-// sim_events must be bit-identical (the determinism contract — any drift is
-// a simulation change, not noise), allocs_per_op may grow only within a
-// tight threshold (-alloc-threshold, default 5% plus a few-alloc slack),
-// and events_per_sec may drop only within a lenient threshold (-threshold,
-// default 30%) because wall clock is noisy on shared runners. Any violation,
-// or a baseline series missing from the current run, exits 1.
+// The gate has three tiers per series, matched by name: sim_time_ps,
+// sim_events and trace_hash must be bit-identical (the determinism contract —
+// any drift is a simulation change, not noise), allocs_per_op may grow only
+// within a tight threshold (-alloc-threshold, default 5% plus a few-alloc
+// slack), and events_per_sec may drop only within a lenient threshold
+// (-threshold, default 30%) because wall clock is noisy on shared runners.
+// Any violation, or a baseline series missing from the current run, exits 1.
 //
 // The series list mirrors bench_test.go (the `go test -bench` harness): the
 // same (workload, system, size) points the paper's figures use, resolved
-// through the ccsvm registry. Timing here is wall-clock on the current host —
-// the numbers are comparable across commits on the same machine class, not
-// across machines; the simulated-time and event counts are bit-deterministic
-// everywhere.
+// through the ccsvm registry. The scaling_w<N> series sweep that whole list
+// through the Runner at a fixed worker-pool size; their efficiency field is
+// the measured speedup over the smallest pool divided by the ideal speedup
+// (workers beyond GOMAXPROCS cannot add cores). Timing here is wall-clock on
+// the current host — the numbers are comparable across commits on the same
+// machine class (the baseline records GOMAXPROCS and the CPU model), not
+// across machines; the simulated-time, event counts and trace hashes are
+// bit-deterministic everywhere.
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -83,22 +99,38 @@ const benchSeed = 42
 // record is one measured series in the emitted JSON.
 type record struct {
 	series
-	Iters        int     `json:"iters"`
-	NsPerOp      int64   `json:"ns_per_op"`
-	AllocsPerOp  uint64  `json:"allocs_per_op"`
-	BytesPerOp   uint64  `json:"bytes_per_op"`
-	SimTimePs    int64   `json:"sim_time_ps"`
-	SimEvents    float64 `json:"sim_events"`
+	Iters int `json:"iters"`
+	// Workers is the Runner pool size on scaling_w<N> series; zero on the
+	// single-series records.
+	Workers     int     `json:"workers,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	SimTimePs   int64   `json:"sim_time_ps"`
+	SimEvents   float64 `json:"sim_events"`
+	// TraceHash is the engine's order-sensitive event fingerprint in hex; on
+	// scaling series it folds the per-run fingerprints of the sweep in spec
+	// order. Bit-identical across hosts and worker counts by the determinism
+	// contract.
+	TraceHash    string  `json:"trace_hash,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Efficiency (scaling series only) is the measured events/sec speedup
+	// over the smallest measured pool divided by the ideal speedup
+	// min(workers, GOMAXPROCS)/min(smallest, GOMAXPROCS).
+	Efficiency float64 `json:"efficiency,omitempty"`
 }
 
 // baseline is the whole emitted file.
 type baseline struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Series    []record `json:"series"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS and CPU identify the machine class the wall-clock numbers
+	// were measured on; baselines are only comparable within one class.
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	CPU        string   `json:"cpu,omitempty"`
+	Series     []record `json:"series"`
 }
 
 func main() {
@@ -110,6 +142,9 @@ func main() {
 	inputPath := flag.String("input", "", "with -compare: read current results from this BENCH_*.json instead of running the benchmarks")
 	evThreshold := flag.Float64("threshold", 0.30, "with -compare: max tolerated relative events/sec drop")
 	allocThreshold := flag.Float64("alloc-threshold", 0.05, "with -compare: max tolerated relative allocs/op increase")
+	parallel := flag.String("parallel", "", "comma-separated Runner worker counts (e.g. 1,2,4,8,16); adds scaling_w<N> series sweeping the full list through the Runner")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the measured runs")
 	flag.Parse()
 
 	if *iters < 1 {
@@ -118,6 +153,11 @@ func main() {
 	}
 	if *inputPath != "" && *comparePath == "" {
 		fmt.Fprintln(os.Stderr, "ccsvm-bench: -input only makes sense with -compare")
+		os.Exit(2)
+	}
+	workerCounts, err := parseWorkerCounts(*parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccsvm-bench: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -136,14 +176,7 @@ func main() {
 			}
 			cur = in.Series
 		} else {
-			for _, s := range paperSeries {
-				rec, err := measure(s, *iters)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "ccsvm-bench: %s: %v\n", s.Name, err)
-					os.Exit(1)
-				}
-				cur = append(cur, rec)
-			}
+			cur = mustRunAll(*iters, workerCounts, *cpuProfile, *memProfile)
 		}
 		if !compare(os.Stdout, base.Series, cur, *evThreshold, *allocThreshold) {
 			fmt.Fprintf(os.Stderr, "ccsvm-bench: regression against %s\n", *comparePath)
@@ -153,21 +186,14 @@ func main() {
 		return
 	}
 	b := baseline{
-		Date:      *date,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:       *date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPU:        cpuModel(),
 	}
-	for _, s := range paperSeries {
-		rec, err := measure(s, *iters)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ccsvm-bench: %s: %v\n", s.Name, err)
-			os.Exit(1)
-		}
-		b.Series = append(b.Series, rec)
-		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10d allocs/op %14.0f events/sec\n",
-			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.EventsPerSec)
-	}
+	b.Series = mustRunAll(*iters, workerCounts, *cpuProfile, *memProfile)
 
 	doc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -190,6 +216,107 @@ func main() {
 	}
 }
 
+// parseWorkerCounts decodes the -parallel flag into sorted pool sizes; the
+// smallest becomes the scaling reference point.
+func parseWorkerCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, field := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-parallel: bad worker count %q", field)
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// mustRunAll measures every series (and the scaling sweep, when worker counts
+// were given), optionally bracketing the measured runs with a CPU profile and
+// following them with a heap profile. Any measurement error exits 1.
+func mustRunAll(iters int, workerCounts []int, cpuProfile, memProfile string) []record {
+	var cpuF *os.File
+	if cpuProfile != "" {
+		var err error
+		cpuF, err = createProfileFile(cpuProfile)
+		if err == nil {
+			err = pprof.StartCPUProfile(cpuF)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccsvm-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	recs, err := runAll(iters, workerCounts)
+	if cpuF != nil {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccsvm-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if memProfile != "" {
+		f, err := createProfileFile(memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccsvm-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ccsvm-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	return recs
+}
+
+// createProfileFile creates a pprof output file, making its parent directory
+// first so `-cpuprofile DIR/cpu.pprof -out DIR` works before DIR exists.
+func createProfileFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
+}
+
+// runAll measures the per-series records followed by the scaling sweep,
+// printing one progress line per record to stderr.
+func runAll(iters int, workerCounts []int) ([]record, error) {
+	var recs []record
+	for _, s := range paperSeries {
+		rec, err := measure(s, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", s.Name, err)
+		}
+		recs = append(recs, rec)
+		progress(rec)
+	}
+	scaling, err := measureScaling(iters, workerCounts)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range scaling {
+		progress(rec)
+	}
+	return append(recs, scaling...), nil
+}
+
+func progress(rec record) {
+	line := fmt.Sprintf("%-28s %12d ns/op %10d allocs/op %14.0f events/sec",
+		rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.EventsPerSec)
+	if rec.Workers > 0 {
+		line += fmt.Sprintf("  eff %.2f", rec.Efficiency)
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
 // readBaseline loads and decodes one emitted BENCH_*.json document.
 func readBaseline(path string) (baseline, error) {
 	var b baseline
@@ -203,6 +330,24 @@ func readBaseline(path string) (baseline, error) {
 	return b, nil
 }
 
+// cpuModel reads the host CPU model name. Wall-clock baselines are only
+// comparable within one machine class, so the file records which class
+// produced it; absent on hosts without /proc/cpuinfo.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "model name"); ok {
+			if i := strings.Index(rest, ":"); i >= 0 {
+				return strings.TrimSpace(rest[i+1:])
+			}
+		}
+	}
+	return ""
+}
+
 // allocSlack is the absolute allocs/op increase tolerated on top of the
 // relative threshold, so series with near-zero counts don't fail on a
 // handful of runtime-internal allocations.
@@ -210,8 +355,8 @@ const allocSlack = 16
 
 // compare diffs cur against base series-by-series (matched by name), writes
 // one line per series to w, and reports whether the gate passes. The tiers
-// are documented in the package comment: exact simulated time and event
-// counts, tight allocs/op, lenient events/sec.
+// are documented in the package comment: exact simulated time, event counts
+// and trace hash, tight allocs/op, lenient events/sec.
 func compare(w io.Writer, base, cur []record, evThreshold, allocThreshold float64) bool {
 	curByName := make(map[string]record, len(cur))
 	for _, r := range cur {
@@ -232,6 +377,9 @@ func compare(w io.Writer, base, cur []record, evThreshold, allocThreshold float6
 		}
 		if c.SimEvents != b.SimEvents {
 			problems = append(problems, fmt.Sprintf("sim_events %.0f != baseline %.0f (determinism)", c.SimEvents, b.SimEvents))
+		}
+		if b.TraceHash != "" && c.TraceHash != b.TraceHash {
+			problems = append(problems, fmt.Sprintf("trace_hash %s != baseline %s (determinism)", c.TraceHash, b.TraceHash))
 		}
 		allocLimit := uint64(float64(b.AllocsPerOp)*(1+allocThreshold)) + allocSlack
 		if c.AllocsPerOp > allocLimit {
@@ -265,8 +413,8 @@ func compare(w io.Writer, base, cur []record, evThreshold, allocThreshold float6
 
 // measure runs one series: a warmup run to populate pools and caches, then
 // iters measured runs bracketed by runtime.MemStats reads for the allocation
-// counters. Simulated time and event counts are taken from the last run; they
-// are identical across runs by the determinism contract.
+// counters. Simulated time, event counts and the trace hash are taken from
+// the last run; they are identical across runs by the determinism contract.
 func measure(s series, iters int) (record, error) {
 	rec := record{series: s, Iters: iters}
 	w, ok := ccsvm.Lookup(s.Workload)
@@ -277,6 +425,10 @@ func measure(s series, iters int) (record, error) {
 	if err != nil {
 		return rec, err
 	}
+	// The production sweep path gives every Runner worker a machine-part
+	// arena; measure the same way. The warmup run populates the arena, so the
+	// measured iterations pay reuse cost, not construction cost.
+	sys.Arena = ccsvm.NewArena()
 	p := ccsvm.Params{N: s.N, Density: s.Density, Seed: benchSeed, IncludeInit: s.Init}
 
 	if _, err := w.Run(sys, p); err != nil {
@@ -305,8 +457,121 @@ func measure(s series, iters int) (record, error) {
 	rec.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / n
 	rec.SimTimePs = int64(last.Time)
 	rec.SimEvents = last.Metrics["sim.events"]
+	rec.TraceHash = traceHash(last)
 	if sec := wall.Seconds(); sec > 0 {
 		rec.EventsPerSec = events / sec
 	}
 	return rec, nil
+}
+
+// measureScaling sweeps the full paper-series list through the Runner at each
+// requested worker-pool size, producing one scaling_w<N> record per size. The
+// per-run results are bit-identical at every pool size (the sink-order and
+// arena-reuse contracts), so the summed sim_time_ps/sim_events/trace_hash
+// columns double as a parallelism determinism check; only wall time varies.
+func measureScaling(iters int, workerCounts []int) ([]record, error) {
+	if len(workerCounts) == 0 {
+		return nil, nil
+	}
+	specs := make([]ccsvm.RunSpec, 0, len(paperSeries))
+	for _, s := range paperSeries {
+		sys, err := ccsvm.NewSystem(ccsvm.SystemKind(s.System))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", s.Name, err)
+		}
+		specs = append(specs, ccsvm.RunSpec{
+			Workload: s.Workload,
+			System:   sys,
+			Params:   ccsvm.Params{N: s.N, Density: s.Density, Seed: benchSeed, IncludeInit: s.Init},
+		})
+	}
+	recs := make([]record, 0, len(workerCounts))
+	for _, workers := range workerCounts {
+		rec, err := measureSweep(specs, workers, iters)
+		if err != nil {
+			return nil, fmt.Errorf("scaling_w%d: %v", workers, err)
+		}
+		recs = append(recs, rec)
+	}
+	// Efficiency: measured speedup over the smallest pool divided by the
+	// ideal speedup. Workers beyond GOMAXPROCS cannot add cores, so the ideal
+	// curve flattens there instead of pretending oversubscription should
+	// scale linearly.
+	ref := recs[0]
+	p := runtime.GOMAXPROCS(0)
+	for i := range recs {
+		ideal := float64(min(recs[i].Workers, p)) / float64(min(ref.Workers, p))
+		if ref.EventsPerSec > 0 && ideal > 0 {
+			recs[i].Efficiency = (recs[i].EventsPerSec / ref.EventsPerSec) / ideal
+		}
+	}
+	return recs, nil
+}
+
+// measureSweep measures one Runner pool size: a warmup sweep, then iters
+// measured sweeps of the whole spec list.
+func measureSweep(specs []ccsvm.RunSpec, workers, iters int) (record, error) {
+	rec := record{
+		series:  series{Name: fmt.Sprintf("scaling_w%d", workers), Workload: "all", System: "runner"},
+		Iters:   iters,
+		Workers: workers,
+	}
+	runner := &ccsvm.Runner{Parallel: workers}
+	if _, err := runner.Run(specs); err != nil {
+		return rec, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var last []ccsvm.RunResult
+	var events float64
+	for i := 0; i < iters; i++ {
+		results, err := runner.Run(specs)
+		if err != nil {
+			return rec, err
+		}
+		last = results
+		for _, rr := range results {
+			events += rr.Result.Metrics["sim.events"]
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	n := uint64(iters)
+	rec.NsPerOp = wall.Nanoseconds() / int64(iters)
+	rec.AllocsPerOp = (after.Mallocs - before.Mallocs) / n
+	rec.BytesPerOp = (after.TotalAlloc - before.TotalAlloc) / n
+	for _, rr := range last {
+		rec.SimTimePs += int64(rr.Result.Time)
+		rec.SimEvents += rr.Result.Metrics["sim.events"]
+	}
+	rec.TraceHash = foldTraceHashes(last)
+	if sec := wall.Seconds(); sec > 0 {
+		rec.EventsPerSec = events / sec
+	}
+	return rec, nil
+}
+
+// traceHash recomposes the engine fingerprint halves a Result's metrics carry
+// into the hex form the baseline stores.
+func traceHash(r ccsvm.Result) string {
+	hi := uint64(r.Metrics["sim.trace_hash_hi"])
+	lo := uint64(r.Metrics["sim.trace_hash_lo"])
+	return fmt.Sprintf("%016x", hi<<32|lo)
+}
+
+// foldTraceHashes reduces a sweep's per-run fingerprints, in spec order, to
+// one order-sensitive hash for the scaling records.
+func foldTraceHashes(results []ccsvm.RunResult) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, rr := range results {
+		hi := uint64(rr.Result.Metrics["sim.trace_hash_hi"])
+		lo := uint64(rr.Result.Metrics["sim.trace_hash_lo"])
+		binary.BigEndian.PutUint64(buf[:], hi<<32|lo)
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }

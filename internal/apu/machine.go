@@ -10,6 +10,7 @@ import (
 	"ccsvm/internal/mem"
 	"ccsvm/internal/mttop"
 	"ccsvm/internal/sim"
+	"ccsvm/internal/simarena"
 	"ccsvm/internal/stats"
 )
 
@@ -46,6 +47,19 @@ type Config struct {
 	OpenCL OpenCLOverheads
 	// MaxSimulatedTime bounds a run.
 	MaxSimulatedTime sim.Duration
+
+	// arena, when set, supplies recycled machine parts to NewMachine and
+	// receives them back at Shutdown. Unexported on purpose: execution
+	// plumbing, not configuration — out of the canonical spec encoding and
+	// the override namespace, and never a Result input.
+	arena *simarena.Arena
+}
+
+// InArena returns the configuration with machine-part recycling through the
+// given arena (nil means build everything fresh). See internal/simarena.
+func (c Config) InArena(a *simarena.Arena) Config {
+	c.arena = a
+	return c
 }
 
 // OpenCLOverheads are the driver and runtime constants of the baseline's
@@ -172,18 +186,35 @@ type Machine struct {
 	kernel  *kernelos.Kernel
 	heapPtr mem.VAddr
 	threads []*exec.Thread
+	// gate is the cooperative scheduler every software thread of this machine
+	// runs under (see exec.Gate); RunThreads drives the engine through it.
+	gate *exec.Gate
+
+	// arena, when non-nil, receives the engine and physical memory back at
+	// Shutdown so the worker's next machine reuses them.
+	arena *simarena.Arena
 }
 
-// NewMachine builds an APU.
+// NewMachine builds an APU. When the configuration carries an arena
+// (Config.InArena), the engine and physical memory come from it; reuse is
+// observation-equivalent to fresh construction.
 func NewMachine(cfg Config) *Machine {
 	m := &Machine{
 		Config: cfg,
-		Engine: sim.NewEngine(),
+		Engine: cfg.arena.Engine(),
 		Stats:  stats.NewRegistry("apu"),
+		arena:  cfg.arena,
 	}
-	m.Phys = mem.NewPhysical(cfg.DRAM.SizeBytes)
+	// Always-on event-trace fingerprint, surfaced as sim.trace_hash_hi/lo
+	// (see core.NewMachine).
+	m.Engine.EnableTraceHash()
+	m.Phys = cfg.arena.Physical(cfg.DRAM.SizeBytes)
 	m.DRAM = dram.NewController(m.Engine, cfg.DRAM, m.Stats, "dram")
 	m.kernel = kernelos.NewKernel(m.Phys, 16, kernelos.DefaultCosts(), m.Stats)
+	m.gate = exec.NewGate()
+	// See core.NewMachine: thread activations pending at a schedule point
+	// must schedule first to keep the event trace order.
+	m.gate.Bind(m.Engine)
 	m.heapPtr = 0x4000_0000 // identity-mapped flat heap, clear of page tables
 
 	cpuClock := sim.NewClock("apu.cpu", cfg.CPUClockHz)
@@ -303,7 +334,7 @@ type HostFunc func(ctx *HostContext)
 //
 //ccsvm:threadentry
 func (m *Machine) newHostThread(name string, fn HostFunc) *exec.Thread {
-	t := exec.NewThread(len(m.threads), name, func(ec *exec.Context) {
+	t := exec.NewThread(m.gate, len(m.threads), name, func(ec *exec.Context) {
 		fn(&HostContext{Context: ec, m: m})
 	})
 	m.threads = append(m.threads, t)
@@ -313,6 +344,10 @@ func (m *Machine) newHostThread(name string, fn HostFunc) *exec.Thread {
 // TrackThread registers an externally created thread (GPU work-items) for
 // teardown.
 func (m *Machine) TrackThread(t *exec.Thread) { m.threads = append(m.threads, t) }
+
+// ExecGate exposes the machine's thread scheduler so runtimes layered on the
+// machine (the OpenCL session) can create threads that run under it.
+func (m *Machine) ExecGate() *exec.Gate { return m.gate }
 
 // RunProgram runs a single host program on CPU core 0 to completion and
 // returns the simulated time consumed.
@@ -338,30 +373,46 @@ func (m *Machine) RunThreads(fns []HostFunc) (sim.Duration, error) {
 		t := m.newHostThread(fmt.Sprintf("host%d", i), fn)
 		m.CPUs[i].Run(t, func() { remaining-- })
 	}
-	for remaining > 0 {
+	// Drive the engine through the gate: thread activations and event
+	// dispatch interleave in completion order (see exec.Gate), and the run
+	// continues past the last host thread's return to drain remaining
+	// activity.
+	overBudget := false
+	m.gate.Drive(func() bool {
 		if m.Engine.Now() > deadline {
-			m.Shutdown()
+			overBudget = true
+			return false
+		}
+		return m.Engine.Step()
+	})
+	if overBudget {
+		m.Shutdown()
+		if remaining > 0 {
 			return 0, fmt.Errorf("apu: program exceeded the %v simulated-time budget", m.Config.MaxSimulatedTime)
 		}
-		if !m.Engine.Step() {
-			m.Shutdown()
-			return 0, fmt.Errorf("apu: simulation ran out of events with %d host threads unfinished", remaining)
-		}
+		return 0, fmt.Errorf("apu: post-main activity exceeded the simulated-time budget")
 	}
-	for m.Engine.Step() {
-		if m.Engine.Now() > deadline {
-			m.Shutdown()
-			return 0, fmt.Errorf("apu: post-main activity exceeded the simulated-time budget")
-		}
+	if remaining > 0 {
+		m.Shutdown()
+		return 0, fmt.Errorf("apu: simulation ran out of events with %d host threads unfinished", remaining)
 	}
 	return m.Engine.Now().Sub(start), nil
 }
 
-// Shutdown tears down any unfinished software threads.
+// Shutdown tears down any unfinished software threads. A machine built in an
+// arena also hands its recyclable parts back here, after which the machine
+// must not be used again; arena-less machines remain readable.
 func (m *Machine) Shutdown() {
 	for _, t := range m.threads {
 		if !t.Finished() {
 			t.Kill()
 		}
 	}
+	a := m.arena
+	if a == nil {
+		return
+	}
+	m.arena = nil
+	a.RecycleEngine(m.Engine)
+	a.RecyclePhysical(m.Phys)
 }

@@ -26,6 +26,11 @@ func (m *Machine) Metrics() map[string]float64 {
 		// sim.events is the engine's executed-event count, the basis of the
 		// benchmark harness's events/sec throughput metric.
 		"sim.events": float64(m.Engine.Executed()),
+		// sim.trace_hash_hi/lo are the engine's event-trace fingerprint halves
+		// (see core.Machine.Metrics): equal values mean an identical event
+		// order, the determinism contract as a metric.
+		"sim.trace_hash_hi": float64(m.Engine.TraceHash() >> 32),
+		"sim.trace_hash_lo": float64(m.Engine.TraceHash() & 0xffffffff),
 	}
 	l1Hits := s.SumMatch("apu.cpu", ".l1_hits")
 	l2Hits := s.SumMatch("apu.cpu", ".l2_hits")

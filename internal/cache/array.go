@@ -51,12 +51,15 @@ type Array struct {
 	tick    uint64
 }
 
-// NewArray builds an array from the configuration.
+// NewArray builds an array from the configuration. The per-set slices share
+// one flat backing array: a machine builds dozens of these, and one large
+// allocation per array beats thousands of tiny per-set ones.
 func NewArray(cfg Config) *Array {
 	numSets := cfg.NumSets()
+	flat := make([]Line, numSets*cfg.Assoc)
 	sets := make([][]Line, numSets)
 	for i := range sets {
-		sets[i] = make([]Line, cfg.Assoc)
+		sets[i] = flat[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	return &Array{cfg: cfg, sets: sets, numSets: numSets}
 }

@@ -221,6 +221,52 @@ func (p *msgPool) put(m *Msg) {
 	p.free = append(p.free, m) //ccsvm:allocok // free list returns to its high-water mark
 }
 
+// drain moves every free message into out and empties the free list, keeping
+// its backing array for reuse. The messages stay flagged pooled, exactly as
+// they sat on the free list.
+func (p *msgPool) drain(out []*Msg) []*Msg {
+	out = append(out, p.free...)
+	for i := range p.free {
+		p.free[i] = nil
+	}
+	p.free = p.free[:0]
+	return out
+}
+
+// seed appends previously drained messages to the free list. Seeding is not a
+// release: the pool's Puts accounting is untouched, so the system-wide
+// InFlight()==0 quiesce invariant holds regardless of how many messages a
+// pool starts with.
+func (p *msgPool) seed(ms []*Msg) {
+	p.free = append(p.free, ms...)
+}
+
+// DrainFreeLists removes and returns every message parked on the free lists
+// of the given controllers. A sweep worker calls it on a machine being torn
+// down and seeds the next machine with the result (see SeedFreeList), so the
+// steady-state message population survives across runs instead of being
+// reallocated.
+//
+//ccsvm:pooled get
+func DrainFreeLists(l1s []*L1Controller, banks []*DirectoryBank) []*Msg {
+	var out []*Msg
+	for _, c := range l1s {
+		out = c.pool.drain(out)
+	}
+	for _, b := range banks {
+		out = b.pool.drain(out)
+	}
+	return out
+}
+
+// SeedFreeList hands previously drained messages to this controller's pool.
+// Messages migrate between pools during a run (a requestor allocates, the
+// receiver releases), so seeding a single controller is enough: the
+// population redistributes with traffic.
+//
+//ccsvm:pooled put
+func (c *L1Controller) SeedFreeList(ms []*Msg) { c.pool.seed(ms) }
+
 // send wraps the protocol message in a pooled network message and sends it;
 // the network recycles its envelope after delivery.
 func send(net noc.Network, src, dst noc.NodeID, m *Msg) {

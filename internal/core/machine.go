@@ -8,12 +8,14 @@ import (
 	"ccsvm/internal/coherence"
 	"ccsvm/internal/cpu"
 	"ccsvm/internal/dram"
+	"ccsvm/internal/exec"
 	"ccsvm/internal/kernelos"
 	"ccsvm/internal/mem"
 	"ccsvm/internal/mifd"
 	"ccsvm/internal/mttop"
 	"ccsvm/internal/noc"
 	"ccsvm/internal/sim"
+	"ccsvm/internal/simarena"
 	"ccsvm/internal/stats"
 	"ccsvm/internal/vm"
 	"ccsvm/internal/xthreads"
@@ -40,19 +42,35 @@ type Machine struct {
 	l1s   []*coherence.L1Controller
 	banks []*coherence.DirectoryBank
 	torus *noc.Torus
+
+	// gate is the cooperative scheduler every software thread of this machine
+	// runs under (see exec.Gate); RunProgram drives the engine through it.
+	gate *exec.Gate
+
+	// arena, when non-nil, receives the engine, physical memory and message
+	// populations back at Shutdown so the worker's next machine reuses them.
+	arena *simarena.Arena
 }
 
-// NewMachine builds and wires a CCSVM chip from the configuration.
+// NewMachine builds and wires a CCSVM chip from the configuration. When the
+// configuration carries an arena (Config.InArena), the engine, physical
+// memory, and message-pool populations come from it; reuse is observation-
+// equivalent to fresh construction.
 func NewMachine(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	m := &Machine{
 		Config: cfg,
-		Engine: sim.NewEngine(),
+		Engine: cfg.arena.Engine(),
 		Stats:  stats.NewRegistry("ccsvm"),
+		arena:  cfg.arena,
 	}
-	m.Phys = mem.NewPhysical(cfg.DRAM.SizeBytes)
+	// The trace hash is always on: it costs two integer multiplies per event
+	// and gives every run a fingerprint of its exact event order, surfaced
+	// through Metrics as sim.trace_hash_hi/lo.
+	m.Engine.EnableTraceHash()
+	m.Phys = cfg.arena.Physical(cfg.DRAM.SizeBytes)
 	m.Checker = coherence.NewChecker()
 	m.DRAM = dram.NewController(m.Engine, cfg.DRAM, m.Stats, "dram")
 
@@ -82,6 +100,7 @@ func NewMachine(cfg Config) *Machine {
 		torusCfg.LinkBandwidth = cfg.Torus.LinkBandwidth
 	}
 	m.torus = noc.NewTorus(m.Engine, torusCfg, placement, m.Stats)
+	m.torus.SeedFreeList(cfg.arena.TakeNocMsgs())
 
 	// L2/directory banks.
 	bankIDs := make([]noc.NodeID, cfg.L2Banks)
@@ -101,7 +120,12 @@ func NewMachine(cfg Config) *Machine {
 	// Kernel and process.
 	m.Kernel = kernelos.NewKernel(m.Phys, 16, cfg.KernelCosts, m.Stats)
 	m.Process = m.Kernel.NewProcess()
-	m.Runtime = xthreads.NewRuntime(m.Process, m.Engine.Now)
+	m.gate = exec.NewGate()
+	// Pending thread activations must schedule before anything an event
+	// handler schedules after completing them (see exec.Gate.Drain): this
+	// keeps the event trace identical to the historical blocking handoff.
+	m.gate.Bind(m.Engine)
+	m.Runtime = xthreads.NewRuntime(m.Process, m.Engine.Now, m.gate)
 
 	// MIFD.
 	m.MIFD = mifd.NewDevice(m.Engine, cfg.MIFD, m.Stats)
@@ -147,6 +171,10 @@ func NewMachine(cfg Config) *Machine {
 		m.MTTOPs = append(m.MTTOPs, core)
 		m.MIFD.AttachUnits(core)
 	}
+
+	// Recycled protocol messages all seed the first controller's pool; they
+	// migrate between pools with traffic, exactly as in-flight messages do.
+	m.l1s[0].SeedFreeList(cfg.arena.TakeCohMsgs())
 
 	// TLB shootdowns initiated by a CPU flush every MTTOP TLB via the MIFD.
 	m.Kernel.SetShootdownHook(m.MIFD.FlushAllTLBs)
@@ -200,23 +228,28 @@ func (m *Machine) RunProgram(main xthreads.MainFunc) (sim.Duration, error) {
 	mainDone := false
 	t := m.Runtime.NewCPUThread("main", main)
 	m.CPUs[0].Run(t, func() { mainDone = true })
-	for !mainDone {
+	// Drive the engine through the gate: thread activations and event
+	// dispatch interleave in completion order (see exec.Gate), and the run
+	// continues past main's return to drain remaining activity (MTTOP threads
+	// main did not wait for, in-flight writebacks, etc.).
+	overBudget := false
+	m.gate.Drive(func() bool {
 		if m.Engine.Now() > deadline {
-			m.Runtime.KillAll()
+			overBudget = true
+			return false
+		}
+		return m.Engine.Step()
+	})
+	if overBudget {
+		m.Runtime.KillAll()
+		if !mainDone {
 			return 0, fmt.Errorf("core: program exceeded the %v simulated-time budget (likely a synchronization hang)", m.Config.MaxSimulatedTime)
 		}
-		if !m.Engine.Step() {
-			m.Runtime.KillAll()
-			return 0, fmt.Errorf("core: simulation ran out of events before main returned")
-		}
+		return 0, fmt.Errorf("core: post-main activity exceeded the simulated-time budget")
 	}
-	// Drain any remaining activity (MTTOP threads that main did not wait for,
-	// in-flight writebacks, etc.).
-	for m.Engine.Step() {
-		if m.Engine.Now() > deadline {
-			m.Runtime.KillAll()
-			return 0, fmt.Errorf("core: post-main activity exceeded the simulated-time budget")
-		}
+	if !mainDone {
+		m.Runtime.KillAll()
+		return 0, fmt.Errorf("core: simulation ran out of events before main returned")
 	}
 	if !m.Checker.Ok() {
 		return 0, fmt.Errorf("core: coherence invariant violated: %v", m.Checker.Violations[0])
@@ -234,9 +267,21 @@ func (m *Machine) L1Controllers() []*coherence.L1Controller { return m.l1s }
 func (m *Machine) DirectoryBanks() []*coherence.DirectoryBank { return m.banks }
 
 // Shutdown tears down any software threads that are still running (used by
-// tests and by callers that abandon a machine mid-run).
+// tests and by callers that abandon a machine mid-run). A machine built in an
+// arena also hands its recyclable parts back here, after which the machine
+// must not be used again; arena-less machines are unaffected and remain
+// readable.
 func (m *Machine) Shutdown() {
 	m.Runtime.KillAll()
+	a := m.arena
+	if a == nil {
+		return
+	}
+	m.arena = nil
+	a.RecycleCohMsgs(coherence.DrainFreeLists(m.l1s, m.banks))
+	a.RecycleNocMsgs(m.torus.DrainFreeList())
+	a.RecycleEngine(m.Engine)
+	a.RecyclePhysical(m.Phys)
 }
 
 // Now reports the machine's current simulated time.

@@ -27,6 +27,13 @@ func (m *Machine) Metrics() map[string]float64 {
 		// measure of simulator work that the benchmark harness turns into
 		// events/sec throughput.
 		"sim.events": float64(m.Engine.Executed()),
+		// sim.trace_hash_hi/lo carry the engine's order-sensitive event-trace
+		// fingerprint, split into two 32-bit halves so each is exactly
+		// representable as a float64. Equal halves across runs (and across
+		// simulator versions) mean the exact same events ran in the exact same
+		// order — the determinism contract, surfaced as a metric.
+		"sim.trace_hash_hi": float64(m.Engine.TraceHash() >> 32),
+		"sim.trace_hash_lo": float64(m.Engine.TraceHash() & 0xffffffff),
 	}
 	stats.AddRate(out, "l1.hit_rate",
 		s.SumMatch("", ".l1.hits"), s.SumMatch("", ".l1.misses"))

@@ -84,9 +84,12 @@ type Core struct {
 	pa mem.PAddr
 	// computeFn completes a compute op; translateCb receives the MMU result;
 	// accessCb runs when the cache access is globally performed; retryMemFn
-	// reissues the op after a serviced page fault.
+	// reissues the op after a serviced page fault; stepFn is the resume
+	// continuation handed to Thread.TryNext.
 	//ccsvm:stateok // bound once at construction; rebound on restore
 	computeFn func(any)
+	//ccsvm:stateok // bound once at construction; rebound on restore
+	stepFn func()
 	//ccsvm:stateok // bound once at construction; rebound on restore
 	translateCb func(mem.PAddr, *vm.Fault)
 	//ccsvm:stateok // bound once at construction; rebound on restore
@@ -118,6 +121,7 @@ func New(engine *sim.Engine, cfg Config, port mem.Port, mmu *vm.MMU, phys *mem.P
 		onExit: make(map[*exec.Thread]func()),
 	}
 	c.computeFn = func(any) { c.completeOp(c.current, exec.Result{}) }
+	c.stepFn = func() { c.step() }
 	c.translateCb = func(pa mem.PAddr, fault *vm.Fault) {
 		if fault == nil {
 			c.access(pa)
@@ -166,8 +170,8 @@ func (c *Core) Run(t *exec.Thread, onExit func()) {
 // RaiseInterrupt queues external work (such as an MTTOP page fault forwarded
 // by the MIFD) to run on this core between instructions. It must be called
 // from engine context (an event callback), never from workload code: a
-// workload goroutine calling it would re-enter step and deadlock against the
-// engine's own blocked Thread.Next (see step's serialization comment).
+// workload goroutine calling it would re-enter step mid-operation and
+// corrupt the core's fetch state (see step's serialization comment).
 //
 //ccsvm:enginectx
 func (c *Core) RaiseInterrupt(i Interrupt) {
@@ -183,21 +187,27 @@ func (c *Core) Idle() bool {
 // step advances the core: service one interrupt or execute the current
 // thread's next operation. It is a no-op while an operation is in flight.
 //
-// The current thread's next operation is fetched (Thread.Next) before
-// pending interrupts are considered. Next blocks until the workload goroutine
-// has either produced its next operation or returned, so the Go code a
-// workload runs between simulated operations is fully serialized with the
-// engine — interrupt service (and every other core's activity behind it)
-// cannot race it. Simulated timing is unchanged: the buffered operation still
-// executes only after pending interrupts are drained.
+// The current thread's next operation is fetched (Thread.TryNext) before
+// pending interrupts are considered. When the thread has not published it
+// yet, the fetch registers step itself as the resume continuation and
+// returns: the thread's between-ops Go code runs — fully serialized with the
+// engine, under the gate's baton — when its pending activation comes up, and
+// re-enters step with the operation published. Simulated timing is
+// unchanged: the buffered operation still executes only after pending
+// interrupts are drained.
+//
+//ccsvm:hotpath
 func (c *Core) step() {
 	for {
 		if c.busy {
 			return
 		}
 		if c.current != nil && !c.haveNextOp {
-			op, ok := c.current.Next()
-			if !ok {
+			op, st := c.current.TryNext(c.stepFn)
+			if st == exec.NextWait {
+				return
+			}
+			if st == exec.NextDone {
 				c.finishThread()
 				continue
 			}
@@ -208,6 +218,7 @@ func (c *Core) step() {
 			c.interrupts = c.interrupts[1:]
 			c.intsTaken.Inc()
 			c.busy = true
+			//ccsvm:allocok // interrupt delivery is rare, never the steady-state dispatch path
 			intr.Service(func() {
 				c.busy = false
 				c.step()
@@ -268,7 +279,7 @@ func (c *Core) execute(op exec.Op) {
 		}
 		// Charge the kernel's syscall entry/exit cost, then dispatch.
 		c.engine.Schedule(c.computeDuration(c.kernel.Costs().SyscallInstrs), func() {
-			c.syscall(c, op.Syscall, op.Args, func(ret uint64) {
+			c.syscall(c, int(op.Syscall), op.Args, func(ret uint64) {
 				c.completeOp(t, exec.Result{Value: ret})
 			})
 		})
@@ -326,7 +337,7 @@ func (c *Core) access(pa mem.PAddr) {
 		typ = mem.ReadModifyWrite
 	}
 	c.pa = pa
-	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: c.op.Size}, c.accessCb)
+	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: int(c.op.Size)}, c.accessCb)
 }
 
 // PerformFunctional applies the functional effect of a completed memory
@@ -335,13 +346,13 @@ func (c *Core) access(pa mem.PAddr) {
 func PerformFunctional(phys *mem.Physical, op exec.Op, pa mem.PAddr) uint64 {
 	switch op.Kind {
 	case exec.OpLoad:
-		return readSized(phys, pa, op.Size)
+		return readSized(phys, pa, int(op.Size))
 	case exec.OpStore:
-		writeSized(phys, pa, op.Size, op.Value)
+		writeSized(phys, pa, int(op.Size), op.Value)
 		return 0
 	case exec.OpRMW:
-		old := readSized(phys, pa, op.Size)
-		writeSized(phys, pa, op.Size, op.Modify(old))
+		old := readSized(phys, pa, int(op.Size))
+		writeSized(phys, pa, int(op.Size), op.ApplyRMW(old))
 		return old
 	default:
 		panic(fmt.Sprintf("cpu: functional perform of %v", op.Kind))

@@ -30,6 +30,7 @@ func (p *latencyPort) Access(req mem.Request, done func()) {
 // CCSVM machine builds it, but behind a flat-latency port.
 type coreRig struct {
 	engine *sim.Engine
+	gate   *exec.Gate
 	core   *cpu.Core
 	kernel *kernelos.Kernel
 	proc   *kernelos.Process
@@ -41,6 +42,8 @@ type coreRig struct {
 func newCoreRig(t *testing.T) *coreRig {
 	t.Helper()
 	engine := sim.NewEngine()
+	gate := exec.NewGate()
+	gate.Bind(engine)
 	reg := stats.NewRegistry("test")
 	phys := mem.NewPhysical(16 << 20)
 	kernel := kernelos.NewKernel(phys, 16, kernelos.DefaultCosts(), reg)
@@ -53,15 +56,15 @@ func newCoreRig(t *testing.T) *coreRig {
 		Name:  "cpu0",
 	}, port, mmu, phys, kernel, reg)
 	mmu.SetRoot(proc.Root())
-	return &coreRig{engine: engine, core: core, kernel: kernel, proc: proc, phys: phys, port: port, reg: reg}
+	return &coreRig{engine: engine, gate: gate, core: core, kernel: kernel, proc: proc, phys: phys, port: port, reg: reg}
 }
 
 func (r *coreRig) run(t *testing.T, fn func(c *exec.Context)) {
 	t.Helper()
 	done := false
-	th := exec.NewThread(0, "t0", fn)
+	th := exec.NewThread(r.gate, 0, "t0", fn)
 	r.core.Run(th, func() { done = true })
-	r.engine.Run()
+	r.gate.Drive(r.engine.Step)
 	if !done {
 		t.Fatal("thread did not finish")
 	}
@@ -185,9 +188,9 @@ func TestCoreSyscallWithoutHandlerPanics(t *testing.T) {
 			t.Fatal("syscall without a handler did not panic")
 		}
 	}()
-	th := exec.NewThread(0, "t0", func(c *exec.Context) { c.Syscall(1) })
+	th := exec.NewThread(r.gate, 0, "t0", func(c *exec.Context) { c.Syscall(1) })
 	r.core.Run(th, nil)
-	r.engine.Run()
+	r.gate.Drive(r.engine.Step)
 }
 
 // TestCoreInterruptBetweenInstructions checks that externally raised work
@@ -232,15 +235,15 @@ func TestCoreQueuesThreads(t *testing.T) {
 	r := newCoreRig(t)
 	va := r.proc.Sbrk(mem.PageSize)
 	var exits []int
-	t1 := exec.NewThread(1, "t1", func(c *exec.Context) { c.Store64(va, 10) })
-	t2 := exec.NewThread(2, "t2", func(c *exec.Context) {
+	t1 := exec.NewThread(r.gate, 1, "t1", func(c *exec.Context) { c.Store64(va, 10) })
+	t2 := exec.NewThread(r.gate, 2, "t2", func(c *exec.Context) {
 		if got := c.Load64(va); got != 10 {
 			t.Errorf("queued thread read %#x, want 10 (runs after t1)", got)
 		}
 	})
 	r.core.Run(t1, func() { exits = append(exits, 1) })
 	r.core.Run(t2, func() { exits = append(exits, 2) })
-	r.engine.Run()
+	r.gate.Drive(r.engine.Step)
 	if len(exits) != 2 || exits[0] != 1 || exits[1] != 2 {
 		t.Fatalf("exit order %v, want [1 2]", exits)
 	}

@@ -15,19 +15,71 @@ type Context struct {
 	thread *Thread
 }
 
-// do hands one operation to the core and waits for its completion.
+// do publishes one operation to the owning core and waits for its
+// completion — cooperatively, not by parking. The thread writes the op into
+// its slot and invokes the core's resume continuation itself (the core
+// consumes the op and schedules its events on this goroutine), then keeps
+// the baton and drives the engine until its own result arrives. It parks
+// only to hand the baton to another thread whose completion is older, or
+// back to the host when the engine cannot advance. A thread whose operation
+// completes while it is driving never switches goroutines at all.
+//
+// The first operation takes the rendezvous branch instead: the launching
+// core is blocked in Thread.launch waiting to consume it, so there is no
+// resume continuation yet.
 func (c *Context) do(op Op) Result {
 	t := c.thread
-	select {
-	case t.ops <- op:
-	case <-t.killed:
+	t.op, t.hasOp = op, true
+	if r := t.resume; r != nil {
+		t.resume = nil
+		r()
+		if t.nested {
+			// Nested activation (Gate.Drain): the operation is published and
+			// its events are scheduled; hand the baton straight back to the
+			// event handler that completed us and park for the next result.
+			t.nested = false
+			t.park(t.gate.drainReturn)
+		} else {
+			t.drive()
+		}
+	} else {
+		t.park(t.handoff)
+	}
+	if t.killed {
 		panic(killSignal{})
 	}
-	select {
-	case r := <-t.results:
-		return r
-	case <-t.killed:
-		panic(killSignal{})
+	t.hasResult = false
+	return t.result
+}
+
+// drive advances the simulation while this thread's operation is in flight:
+// pending completions are activated in completion order, then engine events
+// are dispatched. The thread discovers its own completion by popping itself
+// from the queue front — the zero-switch fast path — and every hand-off of
+// the baton (to an older completion, or to the host when the engine stalls)
+// parks the thread until some driver pops it, which always means its result
+// has been delivered or the machine is tearing it down.
+//
+//ccsvm:hotpath
+func (t *Thread) drive() {
+	g := t.gate
+	for {
+		if t.killed {
+			return
+		}
+		if n := g.pop(); n != nil {
+			if n == t {
+				// Our own completion is the oldest pending activation: keep
+				// running, no goroutine switch.
+				return
+			}
+			t.park(n.wake)
+			return
+		}
+		if !g.dispatch() {
+			t.park(g.hostWake)
+			return
+		}
 	}
 }
 
@@ -95,39 +147,30 @@ func (c *Context) StoreFloat32(va mem.VAddr, v float32) {
 // AtomicAdd64 atomically adds delta to the 64-bit value at va and returns the
 // previous value (fetch-and-add).
 func (c *Context) AtomicAdd64(va mem.VAddr, delta uint64) uint64 {
-	return c.do(Op{Kind: OpRMW, Addr: va, Size: 8, Modify: func(old uint64) uint64 { return old + delta }}).Value
+	return c.do(Op{Kind: OpRMW, RMW: RMWAdd, Addr: va, Size: 8, Value: delta}).Value
 }
 
 // AtomicAdd32 atomically adds delta to the 32-bit value at va and returns the
 // previous value.
 func (c *Context) AtomicAdd32(va mem.VAddr, delta uint32) uint32 {
-	return uint32(c.do(Op{Kind: OpRMW, Addr: va, Size: 4, Modify: func(old uint64) uint64 {
-		return uint64(uint32(old) + delta)
-	}}).Value)
+	return uint32(c.do(Op{Kind: OpRMW, RMW: RMWAdd, Addr: va, Size: 4, Value: uint64(delta)}).Value)
 }
 
 // AtomicCAS32 atomically replaces the 32-bit value at va with new if it
 // equals old, reporting whether the swap happened.
 func (c *Context) AtomicCAS32(va mem.VAddr, old, new uint32) bool {
-	prev := uint32(c.do(Op{Kind: OpRMW, Addr: va, Size: 4, Modify: func(cur uint64) uint64 {
-		if uint32(cur) == old {
-			return uint64(new)
-		}
-		return cur
-	}}).Value)
+	prev := uint32(c.do(Op{Kind: OpRMW, RMW: RMWCAS, Addr: va, Size: 4, Cmp: uint64(old), Value: uint64(new)}).Value)
 	return prev == old
 }
 
 // AtomicExchange32 atomically stores new at va and returns the previous
 // value.
 func (c *Context) AtomicExchange32(va mem.VAddr, new uint32) uint32 {
-	return uint32(c.do(Op{Kind: OpRMW, Addr: va, Size: 4, Modify: func(uint64) uint64 {
-		return uint64(new)
-	}}).Value)
+	return uint32(c.do(Op{Kind: OpRMW, RMW: RMWExchange, Addr: va, Size: 4, Value: uint64(new)}).Value)
 }
 
 // Syscall invokes an OS service (CPU cores only; MTTOP cores reject it, as
 // in the paper's design where MTTOP cores do not run the OS).
 func (c *Context) Syscall(num int, args ...uint64) uint64 {
-	return c.do(Op{Kind: OpSyscall, Syscall: num, Args: args}).Value
+	return c.do(Op{Kind: OpSyscall, Syscall: int32(num), Args: args}).Value
 }

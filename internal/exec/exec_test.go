@@ -6,29 +6,69 @@ import (
 	"ccsvm/internal/mem"
 )
 
+// microQ is a minimal stand-in for the sim engine's event queue: a FIFO of
+// thunks the gate's Drive loop dispatches one at a time. It exercises the
+// cooperative baton protocol without pulling the full engine into the
+// package's unit tests.
+type microQ struct{ q []func() }
+
+func (e *microQ) at(f func()) { e.q = append(e.q, f) }
+
+func (e *microQ) step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	f := e.q[0]
+	e.q = e.q[1:]
+	f()
+	return true
+}
+
+// hostCore drives one thread the way a core model does: TryNext with itself
+// as the resume continuation, completions delivered from "engine" context
+// (a microQ thunk) one op later.
+type hostCore struct {
+	th      *Thread
+	eng     *microQ
+	respond func(Op) Result
+	ops     []Op
+}
+
+func (h *hostCore) fetch() {
+	op, st := h.th.TryNext(h.fetch)
+	if st != NextOp {
+		return
+	}
+	h.ops = append(h.ops, op)
+	o := op
+	h.eng.at(func() {
+		h.th.Complete(h.respond(o))
+		h.fetch()
+	})
+}
+
 // drive runs a thread to completion on the host side, answering every
 // operation with the given responder, and returns the ops seen.
 func drive(t *testing.T, th *Thread, respond func(Op) Result) []Op {
 	t.Helper()
-	th.Start()
-	var ops []Op
-	for {
-		op, ok := th.Next()
-		if !ok {
-			break
-		}
-		ops = append(ops, op)
-		th.Complete(respond(op))
-	}
+	ops := driveRaw(th, respond)
 	if err := th.Err(); err != nil {
 		t.Fatalf("thread panicked: %v", err)
 	}
 	return ops
 }
 
+func driveRaw(th *Thread, respond func(Op) Result) []Op {
+	h := &hostCore{th: th, eng: &microQ{}, respond: respond}
+	th.Start()
+	h.eng.at(h.fetch)
+	th.gate.Drive(h.eng.step)
+	return h.ops
+}
+
 func TestThreadBasicOps(t *testing.T) {
 	var observed uint64
-	th := NewThread(7, "worker", func(ctx *Context) {
+	th := NewThread(NewGate(), 7, "worker", func(ctx *Context) {
 		if ctx.ThreadID() != 7 {
 			t.Error("wrong thread id")
 		}
@@ -64,7 +104,7 @@ func TestThreadBasicOps(t *testing.T) {
 
 func TestContextTypedAccessors(t *testing.T) {
 	memory := map[mem.VAddr]uint64{}
-	th := NewThread(0, "typed", func(ctx *Context) {
+	th := NewThread(NewGate(), 0, "typed", func(ctx *Context) {
 		ctx.Store64(0x10, 0xdeadbeef12345678)
 		ctx.Store8(0x20, 0xab)
 		ctx.StoreFloat64(0x30, 3.5)
@@ -96,7 +136,7 @@ func TestContextTypedAccessors(t *testing.T) {
 
 func TestContextAtomics(t *testing.T) {
 	val := uint64(10)
-	th := NewThread(0, "atomics", func(ctx *Context) {
+	th := NewThread(NewGate(), 0, "atomics", func(ctx *Context) {
 		if old := ctx.AtomicAdd64(0x100, 5); old != 10 {
 			t.Errorf("AtomicAdd64 old = %d", old)
 		}
@@ -118,13 +158,13 @@ func TestContextAtomics(t *testing.T) {
 			t.Fatalf("expected RMW, got %v", op.Kind)
 		}
 		old := val
-		val = op.Modify(old)
+		val = op.ApplyRMW(old)
 		return Result{Value: old}
 	})
 }
 
 func TestContextSyscall(t *testing.T) {
-	th := NewThread(0, "sys", func(ctx *Context) {
+	th := NewThread(NewGate(), 0, "sys", func(ctx *Context) {
 		if ret := ctx.Syscall(3, 1, 2); ret != 42 {
 			t.Errorf("syscall returned %d", ret)
 		}
@@ -144,7 +184,7 @@ func TestContextSyscall(t *testing.T) {
 }
 
 func TestComputeZeroIsFree(t *testing.T) {
-	th := NewThread(0, "zero", func(ctx *Context) {
+	th := NewThread(NewGate(), 0, "zero", func(ctx *Context) {
 		ctx.Compute(0)
 		ctx.Compute(-5)
 	})
@@ -155,18 +195,16 @@ func TestComputeZeroIsFree(t *testing.T) {
 }
 
 func TestThreadPanicIsCaptured(t *testing.T) {
-	th := NewThread(0, "boom", func(ctx *Context) {
+	th := NewThread(NewGate(), 0, "boom", func(ctx *Context) {
 		ctx.Compute(1)
 		panic("workload bug")
 	})
-	th.Start()
-	op, ok := th.Next()
-	if !ok || op.Kind != OpCompute {
-		t.Fatal("expected the compute op first")
+	ops := driveRaw(th, func(Op) Result { return Result{} })
+	if len(ops) != 1 || ops[0].Kind != OpCompute {
+		t.Fatalf("ops = %+v, want the compute op first", ops)
 	}
-	th.Complete(Result{})
-	if _, ok := th.Next(); ok {
-		t.Fatal("panicked thread should be finished")
+	if !th.Finished() {
+		t.Fatal("panicked thread not finished")
 	}
 	if th.Err() != "workload bug" {
 		t.Fatalf("Err() = %v", th.Err())
@@ -174,16 +212,21 @@ func TestThreadPanicIsCaptured(t *testing.T) {
 }
 
 func TestThreadKill(t *testing.T) {
-	th := NewThread(0, "spin", func(ctx *Context) {
+	th := NewThread(NewGate(), 0, "spin", func(ctx *Context) {
 		for {
 			ctx.Compute(10)
 		}
 	})
+	// Publish the first op but never complete it: Drive returns with the
+	// thread parked mid-operation, the state machines tear threads down in.
+	eng := &microQ{}
 	th.Start()
-	if _, ok := th.Next(); !ok {
-		t.Fatal("expected an op")
-	}
-	// The thread is now blocked waiting for completion; Kill must unwind it.
+	eng.at(func() {
+		if op, st := th.TryNext(nil); st != NextOp || op.Kind != OpCompute {
+			t.Errorf("first fetch = %v, %v", op, st)
+		}
+	})
+	th.gate.Drive(eng.step)
 	th.Kill()
 	if !th.Finished() {
 		t.Fatal("killed thread not finished")
@@ -196,13 +239,8 @@ func TestThreadKill(t *testing.T) {
 }
 
 func TestThreadDoubleStartPanics(t *testing.T) {
-	th := NewThread(0, "x", func(ctx *Context) {})
-	th.Start()
-	for {
-		if _, ok := th.Next(); !ok {
-			break
-		}
-	}
+	th := NewThread(NewGate(), 0, "x", func(ctx *Context) {})
+	driveRaw(th, func(Op) Result { return Result{} })
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on double start")
@@ -222,23 +260,68 @@ func TestOpKindString(t *testing.T) {
 
 func TestThreadKillBeforeLaunch(t *testing.T) {
 	ran := false
-	th := NewThread(0, "parked", func(ctx *Context) {
+	th := NewThread(NewGate(), 0, "parked", func(ctx *Context) {
 		ran = true
 		ctx.Compute(10)
 	})
 	// Started but never stepped: the workload goroutine launches lazily on
-	// the first Next, so Kill must tear the thread down without one.
+	// the first TryNext, so Kill must tear the thread down without one.
 	th.Start()
 	th.Kill()
 	if !th.Finished() {
 		t.Fatal("killed unlaunched thread not finished")
 	}
-	// A later Next (a core pulling the thread from its run queue after a
+	// A later fetch (a core pulling the thread from its run queue after a
 	// machine shutdown) must not resurrect the workload.
-	if _, ok := th.Next(); ok {
-		t.Fatal("Next on a killed thread returned an op")
+	if _, st := th.TryNext(nil); st != NextDone {
+		t.Fatal("TryNext on a killed thread returned an op")
 	}
 	if ran {
 		t.Fatal("killed thread's workload function ran")
+	}
+}
+
+// TestGateCrossThreadCompletionOrder pins the queue discipline: when one
+// event completes several threads' operations, their between-ops code runs
+// in completion order.
+func TestGateCrossThreadCompletionOrder(t *testing.T) {
+	g := NewGate()
+	eng := &microQ{}
+	var order []int
+	threads := make([]*Thread, 3)
+	for i := range threads {
+		id := i
+		threads[i] = NewThread(g, id, "t", func(ctx *Context) {
+			ctx.Compute(1)
+			order = append(order, id)
+		})
+	}
+	// Launch each thread (publishing its compute op), then complete all
+	// three from a single "event" in reverse launch order — registering a
+	// fetch continuation first, like a core does, so each thread's exit is
+	// observed.
+	eng.at(func() {
+		for _, th := range threads {
+			th.Start()
+			if _, st := th.TryNext(nil); st != NextOp {
+				t.Errorf("launch fetch = %v", st)
+			}
+		}
+		for _, i := range []int{2, 0, 1} {
+			th := threads[i]
+			var fetch func()
+			fetch = func() { th.TryNext(fetch) }
+			if _, st := th.TryNext(fetch); st != NextWait {
+				t.Errorf("pre-completion fetch = %v, want NextWait", st)
+			}
+			th.Complete(Result{})
+		}
+	})
+	g.Drive(eng.step)
+	want := []int{2, 0, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("activation order %v, want %v", order, want)
+		}
 	}
 }

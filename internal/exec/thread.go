@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ccsvm/internal/mem"
+	"ccsvm/internal/sim"
 )
 
 // OpKind classifies an operation issued by a software thread.
@@ -17,8 +18,9 @@ const (
 	OpLoad
 	// OpStore writes Value (low Size bytes) at Addr.
 	OpStore
-	// OpRMW atomically applies Modify to the Size-byte value at Addr and
-	// returns the old value (fetch-and-op / compare-and-swap).
+	// OpRMW atomically applies the RMW/Cmp/Value-described modification to
+	// the Size-byte value at Addr and returns the old value (fetch-and-op /
+	// compare-and-swap).
 	OpRMW
 	// OpSyscall invokes an OS service on a CPU core.
 	OpSyscall
@@ -42,24 +44,67 @@ func (k OpKind) String() string {
 	}
 }
 
-// Op is one operation requested by a software thread.
+// RMWKind enumerates the atomic read-modify-write operations a thread can
+// issue. An enum plus operands replaces the historical per-call Modify
+// closure: every AtomicAdd/CAS/Exchange used to allocate a capturing closure
+// on the workload's hot path, where the enum rides in the Op by value.
+type RMWKind uint8
+
+const (
+	// RMWAdd is fetch-and-add: the new value is old + Value (32-bit ops wrap
+	// at 32 bits).
+	RMWAdd RMWKind = iota
+	// RMWCAS is 32-bit compare-and-swap: the new value is Value when the low
+	// 32 bits of the old value equal Cmp, otherwise the value is unchanged.
+	RMWCAS
+	// RMWExchange unconditionally stores Value and returns the old value.
+	RMWExchange
+)
+
+// Op is one operation requested by a software thread. It is copied into the
+// thread's publication slot on every simulated operation, so the layout is
+// packed to exactly one 64-byte cache line: the three one-byte discriminators
+// and the syscall number share the first word, followed by the operand words.
 type Op struct {
+	// Kind and RMW classify the operation; RMW is meaningful only for OpRMW.
 	Kind OpKind
-	// Addr and Size describe the virtual-memory footprint of memory ops.
+	RMW  RMWKind
+	// Size is the access width in bytes of memory ops (1, 4 or 8).
+	Size uint8
+	// Syscall is the service number of an OpSyscall.
+	Syscall int32
+	// Addr is the virtual address of memory ops.
 	Addr mem.VAddr
-	Size int
-	// Value is the store data.
+	// Value is the store data, the RMW addend/new value, or unused.
 	Value uint64
-	// Modify is the read-modify-write function of an OpRMW, applied
-	// atomically by the core at completion time.
-	//
-	//ccsvm:stateok // in-flight RMW closure; a checkpoint quiesces the cores first
-	Modify func(old uint64) uint64
+	// Cmp is the compare operand of an RMWCAS.
+	Cmp uint64
 	// Instrs is the instruction count of an OpCompute.
 	Instrs int64
-	// Syscall and Args describe an OpSyscall.
-	Syscall int
-	Args    []uint64
+	// Args holds an OpSyscall's arguments.
+	Args []uint64
+}
+
+// ApplyRMW computes the post-modification value of an OpRMW from the value
+// previously held in memory. It is applied atomically by the core models at
+// completion time; cores truncate the result to Size bytes on the store.
+func (o *Op) ApplyRMW(old uint64) uint64 {
+	switch o.RMW {
+	case RMWAdd:
+		if o.Size == 4 {
+			return uint64(uint32(old) + uint32(o.Value))
+		}
+		return old + o.Value
+	case RMWCAS:
+		if uint32(old) == uint32(o.Cmp) {
+			return o.Value
+		}
+		return old
+	case RMWExchange:
+		return o.Value
+	default:
+		panic(fmt.Sprintf("exec: ApplyRMW of RMWKind(%d)", uint8(o.RMW)))
+	}
 }
 
 // Result is the completion value returned to the thread: the loaded value,
@@ -68,37 +113,251 @@ type Result struct {
 	Value uint64
 }
 
+// NextStatus is TryNext's report on a thread's state.
+type NextStatus uint8
+
+const (
+	// NextOp means an operation was returned and must be executed.
+	NextOp NextStatus = iota
+	// NextWait means the thread has not produced its next operation yet; it
+	// will run (and call the registered resume function when the operation is
+	// ready) the next time it is activated from the gate's pending queue.
+	NextWait
+	// NextDone means the thread function has returned; the thread is finished
+	// and will produce no more operations.
+	NextDone
+)
+
 // killSignal is panicked inside a workload goroutine when the machine tears
 // the thread down before it finished.
 type killSignal struct{}
 
+// Gate is the cooperative scheduler shared by every software thread of one
+// machine. Exactly one goroutine — the host inside Drive, or one workload
+// goroutine — holds the "baton" at any instant and is the only runner; every
+// other goroutine is parked. The baton holder advances the simulation itself:
+// it activates threads from the pending queue (threads whose operation
+// completed and whose between-ops Go code must run before the next event),
+// and when the queue is empty it dispatches the next engine event via the
+// step function installed by Drive.
+//
+// This is what lets a simulated operation complete without any goroutine
+// switch: when a thread's own operation completes while that thread is
+// driving, Complete queues it, and the thread finds itself at the front of
+// its own queue — it just keeps running. A cross-thread completion costs one
+// switch (activate + park) where the old channel rendezvous cost two.
+//
+// The gate is not safe for concurrent use; the baton discipline is the
+// synchronization. Machines must not share gates.
+type Gate struct {
+	// step dispatches one engine event under the host's run policy; installed
+	// by Drive for the duration of the run.
+	step func() bool
+	// pending is the FIFO of threads whose completed operation has not yet
+	// been consumed. Queue order is exactly the order the completions
+	// happened, which is what makes the cooperative schedule bit-identical to
+	// the historical blocking-handoff one.
+	pending []*Thread
+	head    int
+	// hostWake re-activates the host when a driving thread finds the engine
+	// unable to advance (out of events, or the run policy said stop).
+	hostWake chan struct{}
+	// drainReturn hands the baton back from a nested activation (see Drain);
+	// draining guards against reentry from the activated thread's own
+	// scheduling, and inHandler restricts draining to schedules made inside
+	// an event handler — a thread's own between-ops code schedules before
+	// later completions activate, exactly as when it ran nested under the
+	// completing handler.
+	drainReturn chan struct{}
+	draining    bool
+	inHandler   bool
+	// eng is the engine whose schedule hook this gate arms while completions
+	// are pending (see Bind); armed mirrors the engine-side flag so enqueue
+	// pays one store, not a call, in the common already-armed case.
+	eng   *sim.Engine
+	armed bool
+}
+
+// NewGate returns the scheduler for one machine's software threads.
+func NewGate() *Gate {
+	return &Gate{hostWake: make(chan struct{}, 1), drainReturn: make(chan struct{})}
+}
+
+// Bind installs the gate's drain as eng's schedule hook. The hook stays
+// disarmed — a single predicted branch on the engine's schedule path — except
+// while completions are pending, so bit-identical activation order costs the
+// simulation nothing when no thread is waiting.
+func (g *Gate) Bind(eng *sim.Engine) {
+	g.eng = eng
+	eng.SetScheduleHook(g.Drain)
+}
+
+//ccsvm:hotpath
+func (g *Gate) enqueue(t *Thread) {
+	g.pending = append(g.pending, t) //ccsvm:allocok // grows to the thread-count high-water mark, then reuses
+	if !g.armed && g.eng != nil {
+		g.armed = true
+		g.eng.ArmScheduleHook(true)
+	}
+}
+
+// disarm turns the engine-side hook off once no completion is pending.
+func (g *Gate) disarm() {
+	if g.armed {
+		g.armed = false
+		g.eng.ArmScheduleHook(false)
+	}
+}
+
+// pop removes and returns the oldest pending thread, or nil. The backing
+// array is recycled whenever the queue drains, which it does almost
+// immediately — depth exceeds one only when a single event completes several
+// operations.
+func (g *Gate) pop() *Thread {
+	if g.head == len(g.pending) {
+		return nil
+	}
+	t := g.pending[g.head]
+	g.pending[g.head] = nil
+	g.head++
+	if g.head == len(g.pending) {
+		g.head = 0
+		g.pending = g.pending[:0]
+		g.disarm()
+	}
+	return t
+}
+
+// Drain activates, in completion order, every pending thread that is parked:
+// each runs its between-ops code, publishes its next operation and schedules
+// that operation's consequences before control returns to the caller.
+// Machines install it as the engine's schedule hook, so an event handler
+// that completes operations and then schedules more events observes the same
+// event-creation order as the historical blocking design, where Complete
+// handed control to the thread and the handler resumed only after its next
+// publication. A pending thread that is not parked is the baton holder
+// itself — its completion was delivered by an event it is dispatching, and
+// it cannot be activated from under its own handler frame — so the drain
+// stops there to preserve completion order and leaves the rest to the drive
+// loop.
+//
+//ccsvm:hotpath
+func (g *Gate) Drain() {
+	if !g.inHandler || g.draining || g.head == len(g.pending) || !g.pending[g.head].parked {
+		return
+	}
+	g.draining = true
+	for g.head != len(g.pending) && g.pending[g.head].parked {
+		t := g.pop()
+		t.nested = true
+		t.wake <- struct{}{}
+		<-g.drainReturn
+	}
+	g.draining = false
+}
+
+// dispatch runs one engine event under the drain discipline: only schedules
+// made from inside the handler activate pending completions.
+//
+//ccsvm:hotpath
+func (g *Gate) dispatch() bool {
+	g.inHandler = true
+	ok := g.step()
+	g.inHandler = false
+	return ok
+}
+
+// Drive runs the simulation to completion: it drains pending thread
+// activations, then repeatedly calls step to dispatch events, handing the
+// baton to workload goroutines as their operations complete and parking
+// until it returns. Drive returns when step reports false with no
+// activations outstanding — every workload goroutine is parked (or finished)
+// at that point, so the caller may inspect and tear down machine state
+// freely.
+func (g *Gate) Drive(step func() bool) {
+	g.step = step
+	for {
+		if t := g.pop(); t != nil {
+			t.wake <- struct{}{}
+			<-g.hostWake
+			continue
+		}
+		if !g.dispatch() {
+			g.step = nil
+			return
+		}
+	}
+}
+
 // Thread is the host-side handle for one software thread.
+//
+// The op/result handoff is a single-slot publication guarded by the gate's
+// baton, not a channel rendezvous: the workload goroutine writes its next Op
+// into the slot and calls the core's registered resume function itself, then
+// keeps the baton and drives the engine until its own result arrives
+// (Complete). Only when some other thread's activation comes up does it hand
+// the baton over and park. The historical design parked the workload on
+// every operation and woke the host to consume it — two goroutine switches
+// per simulated operation, which dominated the sweep profile; here a
+// self-completing operation costs zero switches and a cross-thread
+// completion costs one.
 type Thread struct {
 	id   int
 	name string
 	fn   func(*Context)
+	gate *Gate
 
-	ops      chan Op
-	results  chan Result
-	killed   chan struct{}
+	// op/hasOp is the publication slot the workload fills; result/hasResult
+	// carries the completion value back. Both are baton-guarded.
+	op        Op
+	hasOp     bool
+	result    Result
+	hasResult bool
+	// resume is the core's continuation for consuming the next published op,
+	// registered by TryNext when the op was not ready (NextWait).
+	resume func()
+
+	// wake activates a parked workload goroutine (baton handoff); handoff
+	// reports the first publication back to the launching core; dead is
+	// closed when the goroutine exits, which Kill waits on.
+	wake    chan struct{}
+	handoff chan struct{}
+	dead    chan struct{}
+
+	// parked is true while the goroutine is blocked on wake; Drain reads it
+	// (under the baton — the write happens before the baton handoff) to tell
+	// an activatable thread from the running holder. nested is set by Drain
+	// before waking the thread and tells its next publication to hand the
+	// baton back through drainReturn instead of driving.
+	parked bool
+	nested bool
+
+	// killed is only ever set while the goroutine is parked (the killer holds
+	// the baton), so a plain bool is race-free: the wake that follows
+	// publishes it.
+	killed   bool
 	started  bool
 	launched bool
+	// done flips when fn returns; finished additionally covers threads killed
+	// or discarded before launch.
+	done     bool
 	finished bool
 	err      any
 }
 
-// NewThread creates a software thread that will run fn. The id is exposed to
-// the workload through Context.ThreadID.
+// NewThread creates a software thread that will run fn under the machine's
+// gate. The id is exposed to the workload through Context.ThreadID.
 //
 //ccsvm:threadentry
-func NewThread(id int, name string, fn func(*Context)) *Thread {
+func NewThread(g *Gate, id int, name string, fn func(*Context)) *Thread {
 	return &Thread{
+		gate:    g,
 		id:      id,
 		name:    name,
 		fn:      fn,
-		ops:     make(chan Op),
-		results: make(chan Result),
-		killed:  make(chan struct{}),
+		wake:    make(chan struct{}, 1),
+		handoff: make(chan struct{}, 1),
+		dead:    make(chan struct{}),
 	}
 }
 
@@ -109,12 +368,12 @@ func (t *Thread) ID() int { return t.id }
 func (t *Thread) Name() string { return t.name }
 
 // Start marks the thread runnable. It must be called exactly once, before
-// the first Next. The workload goroutine itself launches lazily on the first
-// Next: this way the Go code a thread runs before its first operation is
-// serialized with the engine exactly like the code between operations (the
-// caller of Next blocks until the op arrives), instead of racing whatever
-// else runs between Start and the first Next — e.g. the gap code of other
-// threads while this one sits in a core's run queue.
+// the first TryNext. The workload goroutine itself launches lazily on the
+// first TryNext: this way the Go code a thread runs before its first
+// operation is serialized with the engine exactly like the code between
+// operations, instead of racing whatever else runs between Start and the
+// first fetch — e.g. the gap code of other threads while this one sits in a
+// core's run queue.
 func (t *Thread) Start() {
 	if t.started {
 		panic("exec: thread started twice")
@@ -122,90 +381,140 @@ func (t *Thread) Start() {
 	t.started = true
 }
 
-// launch spawns the workload goroutine (on the first Next after Start).
+// launch spawns the workload goroutine and blocks until it has either
+// published its first operation or returned. The synchronous rendezvous is
+// deliberate: cores start threads from event handlers and from other
+// threads' between-ops code, and in both places the new thread's prologue
+// (and the scheduling of its first operation) must complete before the
+// caller proceeds, exactly as it did when the op fetch was a blocking
+// receive.
 //
 //ccsvm:launchpath
-func (t *Thread) launch() {
+func (t *Thread) launch() (Op, NextStatus) {
 	t.launched = true
 	ctx := &Context{thread: t}
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, wasKill := r.(killSignal); !wasKill {
-					t.err = r
-				}
-			}
-			close(t.ops)
-		}()
-		t.fn(ctx)
-	}()
+	go t.wrapper(ctx)
+	<-t.handoff
+	if t.hasOp {
+		t.hasOp = false
+		return t.op, NextOp
+	}
+	return Op{}, NextDone
 }
 
-// Next blocks the (host) caller until the thread produces its next operation.
-// It returns ok=false when the thread function has returned (or was killed),
-// after which the thread is finished.
-func (t *Thread) Next() (Op, bool) {
-	if t.finished {
-		// Killed before its lazy launch (or already drained): don't resurrect
-		// the workload by launching it now.
-		return Op{}, false
+// wrapper is the workload goroutine's body: the thread function plus the
+// exit protocol that reports completion to the owning core and passes the
+// baton on.
+func (t *Thread) wrapper(ctx *Context) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, wasKill := r.(killSignal); !wasKill {
+				t.err = r
+			}
+		}
+		t.done = true
+		t.finished = true
+		if t.killed {
+			// The killer holds the baton and waits on dead; do not touch the
+			// gate or the core.
+			close(t.dead)
+			return
+		}
+		if t.resume == nil {
+			// Returned before issuing a single operation: the launching core
+			// is still blocked in the rendezvous.
+			t.handoff <- struct{}{}
+			return
+		}
+		// Tell the owning core the thread is finished (it observes NextDone
+		// and runs its exit processing), then hand the baton on and die: back
+		// to the drainer when this was a nested activation, otherwise to the
+		// next pending thread or the host.
+		r := t.resume
+		t.resume = nil
+		r()
+		if t.nested {
+			t.nested = false
+			t.gate.drainReturn <- struct{}{}
+			return
+		}
+		t.handback()
+	}()
+	t.fn(ctx)
+}
+
+// park hands the baton away on ch and blocks until this thread is next
+// woken, which always means its result was delivered (or the machine is
+// tearing it down).
+func (t *Thread) park(ch chan struct{}) {
+	t.parked = true
+	ch <- struct{}{}
+	<-t.wake
+	t.parked = false
+}
+
+// handback passes the baton from an exiting goroutine: to the next pending
+// thread if there is one, otherwise back to the host.
+func (t *Thread) handback() {
+	g := t.gate
+	if n := g.pop(); n != nil {
+		n.wake <- struct{}{}
+		return
+	}
+	g.hostWake <- struct{}{}
+}
+
+// TryNext fetches the thread's next operation without blocking. On NextWait
+// the resume function is recorded and will be invoked — on the workload
+// goroutine, under the baton — as soon as the thread publishes its next
+// operation; the core must simply return to the event loop. The first
+// TryNext after Start launches the workload goroutine and waits for its
+// first publication (see launch).
+func (t *Thread) TryNext(resume func()) (Op, NextStatus) {
+	if t.hasOp {
+		t.hasOp = false
+		return t.op, NextOp
+	}
+	if t.done || t.finished {
+		return Op{}, NextDone
 	}
 	if !t.launched {
 		if !t.started {
 			panic("exec: Next before Start")
 		}
-		t.launch()
+		return t.launch()
 	}
-	op, ok := <-t.ops
-	if !ok {
-		t.finished = true
-	}
-	return op, ok
+	t.resume = resume
+	return Op{}, NextWait
 }
 
 // Complete delivers the result of the thread's outstanding operation and
-// unblocks it so it can compute its next operation.
+// queues the thread for activation: its between-ops code runs — in
+// completion order relative to other threads — before the engine dispatches
+// the next event.
 func (t *Thread) Complete(r Result) {
-	t.results <- r
+	t.result = r
+	t.hasResult = true
+	t.gate.enqueue(t)
 }
 
-// Kill tears the thread down: its next (or current) blocking call panics with
-// an internal signal that unwinds the workload goroutine. Safe to call on
-// finished threads.
+// Kill tears the thread down. It must be called with the baton held and the
+// thread parked (machines call it after Drive has returned): the goroutine
+// is woken into the kill check, unwinds with an internal panic, and Kill
+// waits for it to exit. Safe to call on finished threads.
 func (t *Thread) Kill() {
 	if t.finished {
 		return
 	}
 	if !t.launched {
 		// No workload goroutine exists yet (never started, or started but
-		// never stepped), so there is nothing to unwind — and nobody will
-		// ever close the op channel, so draining it below would block
-		// forever. (Runtime.KillAll reaches this when a machine shuts down
-		// between thread creation and dispatch.)
+		// never fetched from), so there is nothing to unwind.
 		t.finished = true
 		return
 	}
-	select {
-	case <-t.killed:
-	default:
-		close(t.killed)
-	}
-	// Drain until the goroutine observes the kill and closes its op channel.
-	for {
-		_, ok := <-t.ops
-		if !ok {
-			t.finished = true
-			return
-		}
-		// The goroutine was blocked sending an op; answer it so it reaches
-		// the kill check.
-		select {
-		case t.results <- Result{}:
-		case <-t.ops:
-			t.finished = true
-			return
-		}
-	}
+	t.killed = true
+	t.wake <- struct{}{}
+	<-t.dead
 }
 
 // Finished reports whether the thread function has returned.

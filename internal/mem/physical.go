@@ -14,10 +14,20 @@ import (
 // coroutines and the single-threaded event engine hand off cleanly, but the
 // lock keeps the store safe even under `go test -race` with misbehaving
 // tests.
+//
+// The sized accessors (ReadUint64 and friends) are the memory hot path of
+// every functional op the cores perform: they go straight at the frame's
+// bytes under a one-entry frame cache, skipping the byte-slice staging and
+// the per-access map lookup of the general ReadBytes/WriteBytes path.
 type Physical struct {
 	//ccsvm:stateok // zero-value lock; carries no state across a checkpoint
 	mu     sync.Mutex
 	frames map[FrameNumber][]byte
+	// lastFrame/lastData cache the most recently touched frame: functional
+	// accesses are heavily page-local (array sweeps, stacks, spin flags), so
+	// most lookups hit without hashing the frame number.
+	lastFrame FrameNumber
+	lastData  []byte
 	// size is the total bytes of installed DRAM; accesses beyond it panic,
 	// catching allocator bugs early.
 	size uint64
@@ -40,6 +50,20 @@ func (p *Physical) frame(f FrameNumber) []byte {
 		fr = make([]byte, PageSize)
 		p.frames[f] = fr
 	}
+	return fr
+}
+
+// page resolves the frame containing addr through the one-entry cache.
+// Callers must hold mu.
+//
+//ccsvm:hotpath
+func (p *Physical) page(addr PAddr) []byte {
+	f := FrameOf(addr)
+	if p.lastData != nil && f == p.lastFrame {
+		return p.lastData
+	}
+	fr := p.frame(f)
+	p.lastFrame, p.lastData = f, fr
 	return fr
 }
 
@@ -70,43 +94,82 @@ func (p *Physical) WriteBytes(addr PAddr, src []byte) {
 }
 
 // ReadUint64 reads a little-endian 64-bit value.
+//
+//ccsvm:hotpath
 func (p *Physical) ReadUint64(addr PAddr) uint64 {
+	if off := uint64(addr) & (PageSize - 1); off+8 <= PageSize {
+		p.mu.Lock()
+		v := binary.LittleEndian.Uint64(p.page(addr)[off:])
+		p.mu.Unlock()
+		return v
+	}
 	var buf [8]byte
 	p.ReadBytes(addr, buf[:])
 	return binary.LittleEndian.Uint64(buf[:])
 }
 
 // WriteUint64 writes a little-endian 64-bit value.
+//
+//ccsvm:hotpath
 func (p *Physical) WriteUint64(addr PAddr, v uint64) {
+	if off := uint64(addr) & (PageSize - 1); off+8 <= PageSize {
+		p.mu.Lock()
+		binary.LittleEndian.PutUint64(p.page(addr)[off:], v)
+		p.mu.Unlock()
+		return
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	p.WriteBytes(addr, buf[:])
 }
 
 // ReadUint32 reads a little-endian 32-bit value.
+//
+//ccsvm:hotpath
 func (p *Physical) ReadUint32(addr PAddr) uint32 {
+	if off := uint64(addr) & (PageSize - 1); off+4 <= PageSize {
+		p.mu.Lock()
+		v := binary.LittleEndian.Uint32(p.page(addr)[off:])
+		p.mu.Unlock()
+		return v
+	}
 	var buf [4]byte
 	p.ReadBytes(addr, buf[:])
 	return binary.LittleEndian.Uint32(buf[:])
 }
 
 // WriteUint32 writes a little-endian 32-bit value.
+//
+//ccsvm:hotpath
 func (p *Physical) WriteUint32(addr PAddr, v uint32) {
+	if off := uint64(addr) & (PageSize - 1); off+4 <= PageSize {
+		p.mu.Lock()
+		binary.LittleEndian.PutUint32(p.page(addr)[off:], v)
+		p.mu.Unlock()
+		return
+	}
 	var buf [4]byte
 	binary.LittleEndian.PutUint32(buf[:], v)
 	p.WriteBytes(addr, buf[:])
 }
 
 // ReadUint8 reads a single byte.
+//
+//ccsvm:hotpath
 func (p *Physical) ReadUint8(addr PAddr) uint8 {
-	var buf [1]byte
-	p.ReadBytes(addr, buf[:])
-	return buf[0]
+	p.mu.Lock()
+	v := p.page(addr)[uint64(addr)&(PageSize-1)]
+	p.mu.Unlock()
+	return v
 }
 
 // WriteUint8 writes a single byte.
+//
+//ccsvm:hotpath
 func (p *Physical) WriteUint8(addr PAddr, v uint8) {
-	p.WriteBytes(addr, []byte{v})
+	p.mu.Lock()
+	p.page(addr)[uint64(addr)&(PageSize-1)] = v
+	p.mu.Unlock()
 }
 
 // ZeroFrame clears an entire physical frame (used when the kernel hands out a
@@ -115,9 +178,7 @@ func (p *Physical) ZeroFrame(f FrameNumber) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	fr := p.frame(f)
-	for i := range fr {
-		fr[i] = 0
-	}
+	clear(fr)
 }
 
 // TouchedFrames reports how many frames have been materialized, which tests
@@ -126,4 +187,23 @@ func (p *Physical) TouchedFrames() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.frames)
+}
+
+// Reset restores fresh-machine semantics — every byte zero, installed
+// capacity set to size — while keeping materialized frames (and the frame
+// map) allocated, so a reused memory re-runs its workload without re-paying
+// lazy frame allocation. Frames beyond the new size are dropped; they would
+// panic on access anyway.
+func (p *Physical) Reset(size uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.size = size
+	for f, fr := range p.frames {
+		if uint64(f.Addr()) >= size {
+			delete(p.frames, f)
+			continue
+		}
+		clear(fr)
+	}
+	p.lastFrame, p.lastData = 0, nil
 }

@@ -25,15 +25,11 @@ func (u *fakeUnit) StartThread(t *exec.Thread, cr3 mem.PAddr, onDone func()) {
 	u.busy++
 	u.started = append(u.started, t.ID())
 	t.Start()
-	go func() {
-		// Drain the thread (kernels in these tests issue no ops).
-		for {
-			if _, ok := t.Next(); !ok {
-				break
-			}
-			t.Complete(exec.Result{})
-		}
-	}()
+	// Kernels in these tests issue no ops, so the first fetch observes the
+	// thread function return at the launch rendezvous.
+	if _, st := t.TryNext(nil); st != exec.NextDone {
+		panic("fakeUnit: test kernel issued an operation")
+	}
 	// Completion is reported immediately for these tests.
 	u.busy--
 	onDone()
@@ -42,12 +38,14 @@ func (u *fakeUnit) StartThread(t *exec.Thread, cr3 mem.PAddr, onDone func()) {
 func newTestDevice(t *testing.T, units ...*fakeUnit) (*Device, *sim.Engine) {
 	t.Helper()
 	engine := sim.NewEngine()
+	gate := exec.NewGate()
+	gate.Bind(engine)
 	d := NewDevice(engine, DefaultConfig(), stats.NewRegistry("t"))
 	for _, u := range units {
 		d.AttachUnits(u)
 	}
 	d.SetThreadFactory(func(kernelID, tid int, args mem.VAddr) *exec.Thread {
-		return exec.NewThread(tid, fmt.Sprintf("k%d-t%d", kernelID, tid), func(ctx *exec.Context) {})
+		return exec.NewThread(gate, tid, fmt.Sprintf("k%d-t%d", kernelID, tid), func(ctx *exec.Context) {})
 	})
 	return d, engine
 }

@@ -45,12 +45,15 @@ type hwContext struct {
 	op exec.Op
 	pa mem.PAddr
 	// translateCb receives the MMU translation of op.Addr; accessCb runs
-	// when the cache access for the op is globally performed.
+	// when the cache access for the op is globally performed; stepFn is the
+	// resume continuation handed to Thread.TryNext.
 	//
 	//ccsvm:stateok // bound once at core construction; rebound on restore
 	translateCb func(mem.PAddr, *vm.Fault)
 	//ccsvm:stateok // bound once at core construction; rebound on restore
 	accessCb func()
+	//ccsvm:stateok // bound once at core construction; rebound on restore
+	stepFn func()
 }
 
 // Core is one MTTOP core.
@@ -105,6 +108,7 @@ func New(engine *sim.Engine, cfg Config, port mem.Port, mmu *vm.MMU, phys *mem.P
 		h.idx = i
 		h.translateCb = func(pa mem.PAddr, fault *vm.Fault) { c.translated(h, pa, fault) }
 		h.accessCb = func() { c.accessDone(h) }
+		h.stepFn = func() { c.stepContext(h) }
 		c.free = append(c.free, i)
 	}
 	c.completeFn = func(a any) { c.completeOp(a.(*hwContext), exec.Result{}) }
@@ -163,14 +167,21 @@ func (c *Core) StartThread(t *exec.Thread, cr3 mem.PAddr, onDone func()) {
 func (c *Core) BusyContexts() int { return c.cfg.NumContexts - len(c.free) }
 
 // stepContext pulls and executes the next operation of one context's thread.
+// When the thread has not published it yet (NextWait), the fetch registers
+// stepContext itself as the resume continuation: the thread's between-ops
+// code runs under the gate's baton and re-enters here with the operation
+// published.
 //
 //ccsvm:hotpath
 func (c *Core) stepContext(h *hwContext) {
 	if h.busy || h.thread == nil {
 		return
 	}
-	op, ok := h.thread.Next()
-	if !ok {
+	op, st := h.thread.TryNext(h.stepFn)
+	if st == exec.NextWait {
+		return
+	}
+	if st == exec.NextDone {
 		c.finishContext(h)
 		return
 	}
@@ -280,7 +291,7 @@ func (c *Core) issueToPort(h *hwContext, pa mem.PAddr) {
 		typ = mem.ReadModifyWrite
 	}
 	h.pa = pa
-	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: h.op.Size}, h.accessCb)
+	c.port.Access(mem.Request{Type: typ, Addr: pa, Size: int(h.op.Size)}, h.accessCb)
 }
 
 // accessDone completes a memory op: the functional effect happens at the time

@@ -13,13 +13,13 @@ import (
 func performFunctional(phys *mem.Physical, op exec.Op, pa mem.PAddr) uint64 {
 	switch op.Kind {
 	case exec.OpLoad:
-		return readSized(phys, pa, op.Size)
+		return readSized(phys, pa, int(op.Size))
 	case exec.OpStore:
-		writeSized(phys, pa, op.Size, op.Value)
+		writeSized(phys, pa, int(op.Size), op.Value)
 		return 0
 	case exec.OpRMW:
-		old := readSized(phys, pa, op.Size)
-		writeSized(phys, pa, op.Size, op.Modify(old))
+		old := readSized(phys, pa, int(op.Size))
+		writeSized(phys, pa, int(op.Size), op.ApplyRMW(old))
 		return old
 	default:
 		panic(fmt.Sprintf("mttop: functional perform of %v", op.Kind))

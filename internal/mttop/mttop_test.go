@@ -27,6 +27,7 @@ func (p *stepPort) Access(req mem.Request, done func()) {
 // configuration the APU machine reuses for its GPU SIMD units.
 type mttopRig struct {
 	engine *sim.Engine
+	gate   *exec.Gate
 	core   *mttop.Core
 	phys   *mem.Physical
 	port   *stepPort
@@ -36,6 +37,8 @@ type mttopRig struct {
 func newMTTOPRig(t *testing.T, contexts, issueWidth int) *mttopRig {
 	t.Helper()
 	engine := sim.NewEngine()
+	gate := exec.NewGate()
+	gate.Bind(engine)
 	reg := stats.NewRegistry("test")
 	phys := mem.NewPhysical(16 << 20)
 	port := &stepPort{engine: engine, latency: 2 * sim.Nanosecond}
@@ -45,7 +48,7 @@ func newMTTOPRig(t *testing.T, contexts, issueWidth int) *mttopRig {
 		IssueWidth:  issueWidth,
 		Name:        "mt0",
 	}, port, nil, phys, nil, reg)
-	return &mttopRig{engine: engine, core: core, phys: phys, port: port, reg: reg}
+	return &mttopRig{engine: engine, gate: gate, core: core, phys: phys, port: port, reg: reg}
 }
 
 // TestContextAllocationAndReuse pins the hardware-context lifecycle: starting
@@ -58,7 +61,7 @@ func TestContextAllocationAndReuse(t *testing.T) {
 	}
 	finished := 0
 	run := func() *exec.Thread {
-		return exec.NewThread(finished, "t", func(c *exec.Context) { c.Compute(10) })
+		return exec.NewThread(r.gate, finished, "t", func(c *exec.Context) { c.Compute(10) })
 	}
 	r.core.StartThread(run(), 0, func() { finished++ })
 	r.core.StartThread(run(), 0, func() { finished++ })
@@ -68,7 +71,7 @@ func TestContextAllocationAndReuse(t *testing.T) {
 	if got := r.core.BusyContexts(); got != 2 {
 		t.Fatalf("busy contexts = %d, want 2", got)
 	}
-	r.engine.Run()
+	r.gate.Drive(r.engine.Step)
 	if finished != 2 {
 		t.Fatalf("%d threads finished, want 2", finished)
 	}
@@ -77,7 +80,7 @@ func TestContextAllocationAndReuse(t *testing.T) {
 	}
 	// The freed contexts take a third thread without complaint.
 	r.core.StartThread(run(), 0, func() { finished++ })
-	r.engine.Run()
+	r.gate.Drive(r.engine.Step)
 	if finished != 3 {
 		t.Fatalf("%d threads finished, want 3", finished)
 	}
@@ -90,13 +93,13 @@ func TestContextAllocationAndReuse(t *testing.T) {
 // relies on checking FreeContexts to avoid.
 func TestStartThreadWithoutFreeContextPanics(t *testing.T) {
 	r := newMTTOPRig(t, 1, 8)
-	r.core.StartThread(exec.NewThread(0, "t0", func(c *exec.Context) { c.Compute(1000) }), 0, nil)
+	r.core.StartThread(exec.NewThread(r.gate, 0, "t0", func(c *exec.Context) { c.Compute(1000) }), 0, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("StartThread with no free contexts did not panic")
 		}
 	}()
-	r.core.StartThread(exec.NewThread(1, "t1", func(c *exec.Context) {}), 0, nil)
+	r.core.StartThread(exec.NewThread(r.gate, 1, "t1", func(c *exec.Context) {}), 0, nil)
 }
 
 // TestInFlightOpStatePerContext forces memory-op completions out of issue
@@ -113,18 +116,18 @@ func TestInFlightOpStatePerContext(t *testing.T) {
 	// Thread 0 issues first through a slow port; thread 1 issues second
 	// through a fast one, so completions arrive 1-then-0.
 	r.port.latency = 100 * sim.Nanosecond
-	r.core.StartThread(exec.NewThread(0, "slow", func(c *exec.Context) {
+	r.core.StartThread(exec.NewThread(r.gate, 0, "slow", func(c *exec.Context) {
 		got0 = c.Load64(a0)
 		c.Store64(a0, got0+1)
 	}), 0, nil)
 	r.port.latency = 1 * sim.Nanosecond
-	r.core.StartThread(exec.NewThread(1, "fast", func(c *exec.Context) {
+	r.core.StartThread(exec.NewThread(r.gate, 1, "fast", func(c *exec.Context) {
 		got1 = c.Load64(a1)
 		if old := c.AtomicAdd64(a1, 10); old != 222 {
 			t.Errorf("fetch-add returned %d, want 222", old)
 		}
 	}), 0, nil)
-	r.engine.Run()
+	r.gate.Drive(r.engine.Step)
 
 	if got0 != 111 || got1 != 222 {
 		t.Fatalf("loads crossed contexts: got0=%d (want 111), got1=%d (want 222)", got0, got1)
@@ -147,9 +150,9 @@ func TestIssueWidthSharesBandwidth(t *testing.T) {
 	run := func(issueWidth int) sim.Time {
 		r := newMTTOPRig(t, 2, issueWidth)
 		for i := 0; i < 2; i++ {
-			r.core.StartThread(exec.NewThread(i, "t", func(c *exec.Context) { c.Compute(100) }), 0, nil)
+			r.core.StartThread(exec.NewThread(r.gate, i, "t", func(c *exec.Context) { c.Compute(100) }), 0, nil)
 		}
-		r.engine.Run()
+		r.gate.Drive(r.engine.Step)
 		return r.engine.Now()
 	}
 	narrow := run(1)
@@ -173,8 +176,8 @@ func TestSyscallOnMTTOPPanics(t *testing.T) {
 			t.Fatal("syscall on an MTTOP core did not panic")
 		}
 	}()
-	r.core.StartThread(exec.NewThread(0, "t0", func(c *exec.Context) { c.Syscall(1) }), 0, nil)
-	r.engine.Run()
+	r.core.StartThread(exec.NewThread(r.gate, 0, "t0", func(c *exec.Context) { c.Syscall(1) }), 0, nil)
+	r.gate.Drive(r.engine.Step)
 }
 
 // faultRecorder implements mttop.FaultHandler the way the MIFD does: service
@@ -197,6 +200,8 @@ func (f *faultRecorder) RaiseMTTOPPageFault(fault *vm.Fault, resume func()) {
 // resume, and complete with the right data.
 func TestPageFaultEscalatesToHandler(t *testing.T) {
 	engine := sim.NewEngine()
+	gate := exec.NewGate()
+	gate.Bind(engine)
 	reg := stats.NewRegistry("test")
 	phys := mem.NewPhysical(16 << 20)
 	kernel := kernelos.NewKernel(phys, 16, kernelos.DefaultCosts(), reg)
@@ -215,11 +220,11 @@ func TestPageFaultEscalatesToHandler(t *testing.T) {
 	va := proc.Sbrk(mem.PageSize)
 	var readBack uint64
 	done := false
-	core.StartThread(exec.NewThread(0, "t0", func(c *exec.Context) {
+	core.StartThread(exec.NewThread(gate, 0, "t0", func(c *exec.Context) {
 		c.Store64(va, 0xbeef)
 		readBack = c.Load64(va)
 	}), proc.Root(), func() { done = true })
-	engine.Run()
+	gate.Drive(engine.Step)
 
 	if !done {
 		t.Fatal("thread did not finish")

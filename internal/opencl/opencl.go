@@ -200,7 +200,7 @@ func (s *Session) dispatch() {
 		fn := s.kernels[item.kernel]
 		gid := item.gid
 		args := item.args
-		t := exec.NewThread(gid, fmt.Sprintf("cl-k%d-wi%d", item.kernel, gid), func(ec *exec.Context) {
+		t := exec.NewThread(s.m.ExecGate(), gid, fmt.Sprintf("cl-k%d-wi%d", item.kernel, gid), func(ec *exec.Context) {
 			fn(&WorkItemContext{Context: ec, globalID: gid, args: args})
 		})
 		s.m.TrackThread(t)

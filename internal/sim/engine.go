@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a unit of scheduled work. Events are ordered by time and, for
 // equal times, by the order in which they were scheduled, which makes every
@@ -18,20 +15,24 @@ import (
 type Event struct {
 	when Time
 	seq  uint64
-	// Exactly one of fn and afn is set. afn carries its argument in arg so
-	// hot paths can schedule without allocating a closure (see AtArg).
+	// fn is the event's single callback, invoked as fn(arg). AtArg stores the
+	// caller's bound callback and argument directly; At routes plain closures
+	// through the callClosure trampoline with the closure in arg (func values
+	// are pointer-shaped, so neither form boxes on the heap). One callback
+	// word instead of the historical fn/afn pair keeps the Event at 48 bytes —
+	// under one cache line — with the ordering keys (when, seq) leading the
+	// struct where the sort and heap comparisons touch them.
 	//
 	//ccsvm:stateok // callbacks are re-registered by their owning components on restore
-	fn func()
-	//ccsvm:stateok // callbacks are re-registered by their owning components on restore
-	afn func(any)
+	fn  func(any)
 	arg any
 	// canceled marks events removed with Cancel; they stay queued and are
 	// recycled when drained.
 	canceled bool
 	// index is the position in the overflow heap, or one of the sentinel
-	// states below.
-	index int
+	// states below. int32 packs it beside canceled in the struct's last word;
+	// an overflow heap of 2^31 events would be hundreds of gigabytes.
+	index int32
 }
 
 // Sentinel index values for events that are not in the overflow heap.
@@ -47,38 +48,17 @@ const (
 // When reports the simulated time at which the event fires.
 func (e *Event) When() Time { return e.when }
 
+// callClosure is the trampoline behind At/Schedule: the scheduled closure
+// rides in the event's arg slot, so every event dispatches through one
+// uniform fn(arg) call.
+func callClosure(a any) { a.(func())() }
+
 // eventLess is the engine's total order: (time, seq).
 func eventLess(a, b *Event) bool {
 	if a.when != b.when {
 		return a.when < b.when
 	}
 	return a.seq < b.seq
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-//ccsvm:hotpath
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev) //ccsvm:allocok // overflow heap grows to its high-water mark
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	ev.index = indexFiring
-	return ev
 }
 
 // Calendar-queue geometry: calBuckets buckets of 2^calShift picoseconds each
@@ -129,11 +109,28 @@ func (b *calBucket) push(ev *Event) {
 // structures drain in the same (time, seq) total order, so the split is
 // invisible to component models. Event objects are free-listed (see Event).
 //
+// Dispatch is fused: the engine caches the next-event candidate (next) so the
+// common Step — pop the head of the already-sorted current bucket, run it,
+// promote its successor — never rescans the calendar ring or the heap top.
+// The cache is invalidated by the only operations that can change the front
+// of the queue: scheduling an event earlier than the candidate, and canceling
+// the candidate itself.
+//
 //ccsvm:state
 type Engine struct {
-	now      Time
-	seq      uint64
-	overflow eventHeap
+	now Time
+	seq uint64
+
+	// next is the cached next-event candidate: nil means unknown (recompute
+	// via refill), non-nil means it is the earliest live event and sits at
+	// the front of its container — the head of the sorted bucket at calScan,
+	// or the top of the overflow heap.
+	next *Event
+
+	// overflow is a concrete binary min-heap ordered by eventLess; push/pop
+	// are open-coded (heapPush/heapPopTop) so they inline without the
+	// interface dispatch and any-boxing of container/heap.
+	overflow []*Event
 	stopped  bool
 
 	// cal is the near-future bucket ring; calCount counts the entries that
@@ -159,16 +156,27 @@ type Engine struct {
 	// zero at quiesce, which catches leaked or double-released events.
 	live int
 
-	// traceOn/traceHash accumulate an order-sensitive hash of every executed
-	// event's (time, seq) pair — a cheap fingerprint of the full event trace
-	// that the determinism checks compare across same-seed runs.
+	// traceHash accumulates an order-sensitive hash of every executed event's
+	// (time, seq) pair — a cheap fingerprint of the full event trace that the
+	// determinism checks compare across same-seed runs. The mix runs
+	// unconditionally (two multiplies per event, cheaper than a predicted
+	// branch in the dispatch loop); traceOn only gates whether TraceHash
+	// reports it.
 	traceOn   bool
 	traceHash uint64
+
+	// preSchedule, when installed and armed, runs at the top of At/AtArg
+	// before a sequence number is assigned (see SetScheduleHook). The armed
+	// flag keeps the common schedule path at one predicted-false branch: the
+	// exec layer arms it only while thread activations are pending.
+	//ccsvm:stateok // bound by exec.Gate.Bind at construction; rebound on restore
+	preSchedule func()
+	hookArmed   bool
 }
 
 // NewEngine returns an engine positioned at time zero with an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{traceHash: fnvOffset}
 }
 
 // Now reports the current simulated time.
@@ -196,7 +204,12 @@ func (e *Engine) EnableTraceHash() {
 
 // TraceHash returns the accumulated event-trace hash (zero until
 // EnableTraceHash is called).
-func (e *Engine) TraceHash() uint64 { return e.traceHash }
+func (e *Engine) TraceHash() uint64 {
+	if !e.traceOn {
+		return 0
+	}
+	return e.traceHash
+}
 
 // FNV-1a parameters, used for the trace hash (folding whole 64-bit words
 // instead of bytes: the mix only needs to be order-sensitive, not standard).
@@ -244,15 +257,76 @@ func (e *Engine) release(ev *Event) {
 	}
 	e.live--
 	ev.fn = nil
-	ev.afn = nil
 	ev.arg = nil
 	ev.canceled = false
 	ev.index = indexPooled
 	e.free = append(e.free, ev) //ccsvm:allocok // free list returns to its high-water mark
 }
 
+// heapPush adds ev to the overflow heap and sifts it up. Open-coded
+// container/heap.Push without the interface dispatch.
+//
+//ccsvm:hotpath
+func (e *Engine) heapPush(ev *Event) {
+	h := append(e.overflow, ev) //ccsvm:allocok // overflow heap grows to its high-water mark
+	j := len(h) - 1
+	ev.index = int32(j)
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !eventLess(h[j], h[parent]) {
+			break
+		}
+		h[j], h[parent] = h[parent], h[j]
+		h[j].index = int32(j)
+		h[parent].index = int32(parent)
+		j = parent
+	}
+	e.overflow = h
+}
+
+// heapPopTop removes the heap's minimum (h[0]) and sifts the displaced tail
+// element down. Open-coded container/heap.Pop without the interface dispatch
+// or any-boxing of the removed event.
+//
+//ccsvm:hotpath
+func (e *Engine) heapPopTop() *Event {
+	h := e.overflow
+	top := h[0]
+	top.index = indexFiring
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.overflow = h
+	if n > 1 {
+		i := 0
+		h[0].index = 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			m := l
+			if r := l + 1; r < n && eventLess(h[r], h[l]) {
+				m = r
+			}
+			if !eventLess(h[m], h[i]) {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			h[i].index = int32(i)
+			h[m].index = int32(m)
+			i = m
+		}
+	} else if n == 1 {
+		h[0].index = 0
+	}
+	return top
+}
+
 // insert places a scheduled event into the calendar window or the overflow
-// heap. Invariant: every bucketed event's bucket index lies in
+// heap, invalidating the cached next candidate when the new event precedes
+// it. Invariant: every bucketed event's bucket index lies in
 // [now>>calShift, now>>calShift + calBuckets), so a ring slot never mixes
 // events from different laps — time only moves forward, and events further
 // out go to the heap.
@@ -268,9 +342,28 @@ func (e *Engine) insert(ev *Event) {
 		}
 		e.calCount++
 	} else {
-		heap.Push(&e.overflow, ev)
+		e.heapPush(ev)
+	}
+	if e.next != nil && eventLess(ev, e.next) {
+		e.next = nil
 	}
 }
+
+// SetScheduleHook installs fn to run at the top of every At/AtArg, before
+// the new event's sequence number is assigned. The exec layer uses it to
+// activate threads whose operations completed earlier in the current event
+// handler: their own scheduling must receive sequence numbers before anything
+// the handler schedules afterwards, which keeps the event trace (and its
+// hash) identical to a design that activated them synchronously at the
+// completion point. The hook must not dispatch events; it may schedule
+// (reentrant At/AtArg calls skip the hook via the caller's own guard).
+func (e *Engine) SetScheduleHook(fn func()) { e.preSchedule = fn }
+
+// ArmScheduleHook turns the installed schedule hook on or off. The caller
+// arms it when there is pending work for the hook (the exec layer: parked
+// threads with delivered completions) and disarms it when the work is gone,
+// so the hot schedule path pays a branch, not an indirect call.
+func (e *Engine) ArmScheduleHook(on bool) { e.hookArmed = on }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in a component model, so it panics loudly rather than silently
@@ -278,11 +371,14 @@ func (e *Engine) insert(ev *Event) {
 //
 //ccsvm:hotpath
 func (e *Engine) At(t Time, fn func()) *Event {
+	if e.hookArmed {
+		e.preSchedule()
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
-	ev.when, ev.seq, ev.fn = t, e.seq, fn
+	ev.when, ev.seq, ev.fn, ev.arg = t, e.seq, callClosure, fn
 	e.seq++
 	e.insert(ev)
 	e.pending++
@@ -297,11 +393,14 @@ func (e *Engine) At(t Time, fn func()) *Event {
 //
 //ccsvm:hotpath
 func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
+	if e.hookArmed {
+		e.preSchedule()
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
-	ev.when, ev.seq, ev.afn, ev.arg = t, e.seq, fn, arg
+	ev.when, ev.seq, ev.fn, ev.arg = t, e.seq, fn, arg
 	e.seq++
 	e.insert(ev)
 	e.pending++
@@ -339,9 +438,11 @@ func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.canceled || ev.index == indexPooled || ev.index == indexFiring {
 		return
 	}
+	if ev == e.next {
+		e.next = nil
+	}
 	ev.canceled = true
 	ev.fn = nil
-	ev.afn = nil
 	ev.arg = nil
 	e.pending--
 }
@@ -365,7 +466,7 @@ func sortEvents(evs []*Event) {
 
 // peekCal returns the earliest live bucketed event, draining canceled ones,
 // or nil when the calendar is empty. It leaves calScan at the returned
-// event's bucket index so popNext can remove it without rescanning.
+// event's bucket index so the fused pop can remove it without rescanning.
 //
 //ccsvm:hotpath
 func (e *Engine) peekCal() *Event {
@@ -411,85 +512,124 @@ func (e *Engine) peekOverflow() *Event {
 		if !ev.canceled {
 			return ev
 		}
-		heap.Pop(&e.overflow)
+		e.heapPopTop()
 		e.release(ev)
 	}
 	return nil
 }
 
-// peek returns the next event in (time, seq) order without removing it, or
-// nil when the queue is empty.
+// refill recomputes the cached next candidate from the two queue levels. It
+// runs only when the cache is cold: at the start of a drain, after an
+// insert-before-next or a Cancel of the candidate, and when a bucket empties
+// or goes unsorted under the fused pop.
 //
 //ccsvm:hotpath
-func (e *Engine) peek() *Event {
+func (e *Engine) refill() *Event {
 	cev := e.peekCal()
 	hev := e.peekOverflow()
 	switch {
 	case cev == nil:
-		return hev
+		e.next = hev
 	case hev == nil || eventLess(cev, hev):
-		return cev
+		e.next = cev
 	default:
-		return hev
+		e.next = hev
 	}
+	return e.next
 }
 
-// popNext removes and returns the next event, or nil when the queue is empty.
+// pop removes the cached candidate ev from its container and eagerly promotes
+// its bucket successor when that is provably the global next: the bucket is
+// still sorted from head and its new head precedes the heap minimum (heap[0]
+// lower-bounds every heap event, canceled or not). Anything scheduled or
+// canceled by the subsequent callback that could displace the promoted
+// candidate invalidates the cache through insert/Cancel.
 //
 //ccsvm:hotpath
-func (e *Engine) popNext() *Event {
-	ev := e.peek()
-	if ev == nil {
-		return nil
-	}
+func (e *Engine) pop(ev *Event) {
+	e.next = nil
 	if ev.index == indexBucketed {
-		// peek left calScan at this event's bucket.
+		// refill/promotion left calScan at this event's bucket, with the
+		// event at the bucket head.
 		bk := &e.cal[e.calScan&calBucketMask]
 		bk.events[bk.head] = nil
 		bk.head++
 		e.calCount--
 		ev.index = indexFiring
+		if bk.sorted && bk.head < len(bk.events) {
+			if c := bk.events[bk.head]; !c.canceled &&
+				(len(e.overflow) == 0 || eventLess(c, e.overflow[0])) {
+				e.next = c
+			}
+		}
 	} else {
-		heap.Pop(&e.overflow)
+		e.heapPopTop()
 	}
-	return ev
 }
 
 // Step runs the single next event. It returns false when the queue is empty.
 //
+// This is the fused dispatch path: one cached-candidate load (or one refill
+// when cold), one pop with successor promotion, one unconditional trace mix,
+// one callback.
+//
 //ccsvm:hotpath
 func (e *Engine) Step() bool {
-	ev := e.popNext()
+	ev := e.next
 	if ev == nil {
-		return false
+		if ev = e.refill(); ev == nil {
+			return false
+		}
 	}
+	e.pop(ev)
 	e.now = ev.when
-	if e.traceOn {
-		e.traceHash = fnvMix(fnvMix(e.traceHash, uint64(ev.when)), ev.seq)
-	}
-	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	e.traceHash = fnvMix(fnvMix(e.traceHash, uint64(ev.when)), ev.seq)
+	fn, arg := ev.fn, ev.arg
 	// Recycle before dispatch so the callback's own scheduling reuses the
 	// object immediately; the handle contract (see Event) makes this safe.
 	e.release(ev)
 	e.pending--
 	e.executed++
-	if afn != nil {
-		afn(arg)
-	} else {
-		fn()
-	}
+	fn(arg)
 	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
+//
+// The loop batch-drains through the cached candidate: while the current
+// bucket stays sorted, each iteration is a pointer load, a pop, and the
+// callback. The executed counter is hoisted out of the per-event path and
+// flushed when the loop exits, so Executed() observed from inside a callback
+// during Run may lag; it is exact whenever Run (or Step, which machines
+// drive directly) returns.
 func (e *Engine) Run() {
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	fired := uint64(0)
+	for !e.stopped {
+		ev := e.next
+		if ev == nil {
+			if ev = e.refill(); ev == nil {
+				break
+			}
+		}
+		e.pop(ev)
+		e.now = ev.when
+		e.traceHash = fnvMix(fnvMix(e.traceHash, uint64(ev.when)), ev.seq)
+		fn, arg := ev.fn, ev.arg
+		e.release(ev)
+		e.pending--
+		fired++
+		fn(arg)
 	}
+	e.executed += fired
 }
 
 // RunUntil executes events with times <= deadline. Events scheduled beyond
 // the deadline remain queued. It returns the number of events executed.
+//
+// The deadline check reads the cached next candidate — maintained across the
+// contained Steps — instead of re-deriving the queue front with a full peek
+// per iteration.
 //
 // When the loop drains normally (queue empty or next event past the
 // deadline), simulated time fast-forwards to the deadline. When Stop ends the
@@ -500,8 +640,13 @@ func (e *Engine) RunUntil(deadline Time) int {
 	e.stopped = false
 	n := 0
 	for !e.stopped {
-		next := e.peek()
-		if next == nil || next.when > deadline {
+		next := e.next
+		if next == nil {
+			if next = e.refill(); next == nil {
+				break
+			}
+		}
+		if next.when > deadline {
 			break
 		}
 		e.Step()
@@ -518,3 +663,44 @@ func (e *Engine) RunFor(d Duration) int { return e.RunUntil(e.now.Add(d)) }
 
 // Stop makes Run/RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Reset returns the engine to its construction state — time zero, empty
+// queue, zero counters, fresh trace fingerprint — while keeping the event
+// free list and the calendar/heap backing arrays at their high-water
+// capacity. Queued events (canceled or not) are recycled onto the free list.
+// It is the engine half of cross-run arena reuse: a Reset engine schedules
+// its first warmup-sized burst of events without allocating, yet is
+// observationally identical to a NewEngine. Reset panics if an event is
+// still checked out and firing, which would mean it is being called from
+// inside a callback.
+func (e *Engine) Reset() {
+	for i := range e.cal {
+		bk := &e.cal[i]
+		for j := bk.head; j < len(bk.events); j++ {
+			ev := bk.events[j]
+			bk.events[j] = nil
+			e.release(ev)
+		}
+		bk.events = bk.events[:0]
+		bk.head = 0
+		bk.sorted = true
+	}
+	for i := range e.overflow {
+		ev := e.overflow[i]
+		e.overflow[i] = nil
+		e.release(ev)
+	}
+	e.overflow = e.overflow[:0]
+	if e.live != 0 {
+		panic(fmt.Sprintf("sim: Reset with %d events still checked out", e.live))
+	}
+	e.now, e.seq = 0, 0
+	e.next = nil
+	e.stopped = false
+	e.calCount, e.calScan = 0, 0
+	e.pending = 0
+	e.executed = 0
+	e.traceHash = fnvOffset
+	e.preSchedule = nil
+	e.hookArmed = false
+}

@@ -66,12 +66,14 @@ func TestEngineRunUntilStopThenResume(t *testing.T) {
 
 // refEngine is a deliberately naive event queue — a flat slice scanned for
 // the (time, seq) minimum on every step — used as the specification the
-// calendar-queue/pooled engine must match.
+// calendar-queue/pooled engine must match, including RunUntil/Stop semantics
+// and the (time, seq) trace hash.
 type refEngine struct {
-	now  Time
-	seq  uint64
-	evs  []*refEvent
-	done bool
+	now     Time
+	seq     uint64
+	evs     []*refEvent
+	stopped bool
+	hash    uint64
 }
 
 type refEvent struct {
@@ -105,8 +107,43 @@ func (r *refEngine) step() bool {
 	ev := r.evs[best]
 	r.evs = append(r.evs[:best], r.evs[best+1:]...)
 	r.now = ev.when
+	r.hash = fnvMix(fnvMix(r.hash, uint64(ev.when)), ev.seq)
 	ev.fn()
 	return true
+}
+
+// peek returns the earliest live event without firing it, or nil.
+func (r *refEngine) peek() *refEvent {
+	var best *refEvent
+	for _, ev := range r.evs {
+		if ev.canceled {
+			continue
+		}
+		if best == nil || ev.when < best.when || (ev.when == best.when && ev.seq < best.seq) {
+			best = ev
+		}
+	}
+	return best
+}
+
+// runUntil mirrors Engine.RunUntil: execute events with times <= deadline,
+// fast-forward to the deadline on a normal drain, and stay put when a Stop
+// ends the run early.
+func (r *refEngine) runUntil(deadline Time) int {
+	r.stopped = false
+	n := 0
+	for !r.stopped {
+		next := r.peek()
+		if next == nil || next.when > deadline {
+			break
+		}
+		r.step()
+		n++
+	}
+	if !r.stopped && r.now < deadline {
+		r.now = deadline
+	}
+	return n
 }
 
 // TestEngineMatchesReferenceModel drives the production engine and the naive

@@ -2,55 +2,85 @@ package sim
 
 import (
 	"testing"
+	"testing/quick"
 )
 
-// FuzzEngineQueue feeds a byte-encoded schedule/cancel/nested-schedule script
-// to the production engine (calendar ring + overflow heap + event pool) and to
-// the naive refEngine specification, and requires bit-identical execution
-// order. Each input byte is one action; the same script drives both engines,
-// so any divergence in ordering, cancellation, or pool recycling shows up as a
-// mismatched firing log. It also asserts the event pool's live-object count
-// returns to zero once the queue drains.
-func FuzzEngineQueue(f *testing.F) {
-	f.Add([]byte{0x00})
-	f.Add([]byte{0x01, 0x42, 0x81, 0xc3, 0x07, 0xff, 0x10})
-	f.Add([]byte{0x03, 0x03, 0x03, 0x80, 0x80, 0x41, 0x02, 0x9f, 0x60, 0x33})
-	f.Fuzz(func(t *testing.T, script []byte) {
-		if len(script) > 512 {
-			script = script[:512]
-		}
-		real := runQueueScript(t, script, true)
-		ref := runQueueScript(t, script, false)
-		if len(real) != len(ref) {
-			t.Fatalf("engine fired %d events, reference fired %d", len(real), len(ref))
-		}
-		for i := range real {
-			if real[i] != ref[i] {
-				t.Fatalf("firing order diverges at %d: engine %v, reference %v", i, real, ref)
-			}
-		}
-	})
+// queueUnderTest abstracts the production engine and the naive reference
+// model so one script interpreter can drive both and demand bit-identical
+// behaviour: same firing order, same per-RunUntil event counts, same final
+// time, same trace hash.
+type queueUnderTest interface {
+	schedule(d Duration, fn func()) (cancel func())
+	scheduleArg(d Duration, fn func(int), id int) (cancel func())
+	runUntil(deadline Time) int
+	stop()
+	drain()
+	now() Time
+	hash() uint64
 }
 
-// scriptDelay maps an action byte to a delay that lands in the calendar
-// window (low bytes) or the overflow heap (high bytes), so both queue levels
-// are exercised by most scripts.
-func scriptDelay(b byte) Duration {
-	if b&0x80 != 0 {
-		return Duration(int(b&0x7f))*2048 + 70_000 // beyond the ~65 ns window
+type realQueue struct{ e *Engine }
+
+func (q realQueue) schedule(d Duration, fn func()) func() {
+	ev := q.e.Schedule(d, fn)
+	return func() { q.e.Cancel(ev) }
+}
+
+func (q realQueue) scheduleArg(d Duration, fn func(int), id int) func() {
+	ev := q.e.ScheduleArg(d, func(a any) { fn(a.(int)) }, id)
+	return func() { q.e.Cancel(ev) }
+}
+
+func (q realQueue) runUntil(deadline Time) int { return q.e.RunUntil(deadline) }
+func (q realQueue) stop()                      { q.e.Stop() }
+func (q realQueue) drain() {
+	for q.e.Step() {
 	}
-	return Duration(int(b) * 40) // inside the calendar ring
+}
+func (q realQueue) now() Time    { return q.e.Now() }
+func (q realQueue) hash() uint64 { return q.e.TraceHash() }
+
+type refQueue struct{ r *refEngine }
+
+func (q refQueue) schedule(d Duration, fn func()) func() {
+	ev := q.r.schedule(d, fn)
+	return func() { ev.canceled = true }
 }
 
-// runQueueScript interprets the script against the production engine (real)
-// or the reference model, returning the ids in firing order. Every fired
-// event consumes the next unconsumed script byte (if any) to decide whether
-// to schedule a nested event, so nested scheduling replays identically on
-// both engines as long as the firing order matches — which is the property
-// under test.
-func runQueueScript(t *testing.T, script []byte, real bool) []int {
+func (q refQueue) scheduleArg(d Duration, fn func(int), id int) func() {
+	ev := q.r.schedule(d, func() { fn(id) })
+	return func() { ev.canceled = true }
+}
+
+func (q refQueue) runUntil(deadline Time) int { return q.r.runUntil(deadline) }
+func (q refQueue) stop()                      { q.r.stopped = true }
+func (q refQueue) drain() {
+	for q.r.step() {
+	}
+}
+func (q refQueue) now() Time    { return q.r.now }
+func (q refQueue) hash() uint64 { return q.r.hash }
+
+// scriptResult is everything a script execution observes; both queue
+// implementations must produce equal results for the same script.
+type scriptResult struct {
+	order []int
+	runs  []int
+	now   Time
+	hash  uint64
+}
+
+// runQueueScript interprets a byte script against q. Each script byte is one
+// action — schedule a closure or an arg-carrying event, cancel a previous
+// handle, RunUntil a near deadline, or schedule an event that calls Stop
+// mid-run — so fuzzing interleaves every public queue entry point with the
+// fused dispatch path. Every fired event additionally consumes the next
+// unconsumed script byte (if any) to decide whether to schedule a nested
+// event, so nested scheduling replays identically on both engines as long as
+// the firing order matches — which is the property under test.
+func runQueueScript(t *testing.T, script []byte, q queueUnderTest) scriptResult {
 	t.Helper()
-	var order []int
+	res := scriptResult{}
 	nextID := 0
 	pos := 0
 	nextByte := func() (byte, bool) {
@@ -62,75 +92,155 @@ func runQueueScript(t *testing.T, script []byte, real bool) []int {
 		return b, true
 	}
 
-	if real {
-		e := NewEngine()
-		var handles []*Event
-		var schedule func(delay Duration)
-		schedule = func(delay Duration) {
-			id := nextID
-			nextID++
-			handles = append(handles, e.Schedule(delay, func() {
-				handles[id] = nil
-				order = append(order, id)
-				if b, ok := nextByte(); ok && b&3 == 3 {
-					schedule(scriptDelay(b))
-				}
-			}))
+	// cancels is indexed by event id and nilled when the event fires, per the
+	// pooled-handle contract documented on sim.Event: a retained stale handle
+	// may alias a recycled event.
+	var cancels []func()
+	var scheduleClosure func(d Duration)
+	rec := func(id int) {
+		cancels[id] = nil
+		res.order = append(res.order, id)
+		if b, ok := nextByte(); ok && b&3 == 3 {
+			scheduleClosure(scriptDelay(b))
 		}
-		for pos < len(script) {
-			b, _ := nextByte()
-			switch b & 3 {
-			case 0, 1, 3:
-				schedule(scriptDelay(b))
-			case 2:
-				if len(handles) > 0 {
-					i := int(b>>2) % len(handles)
-					if handles[i] != nil {
-						e.Cancel(handles[i])
-						handles[i] = nil
-					}
-				}
-			}
-		}
-		e.Run()
-		if e.LiveEvents() != 0 {
-			t.Fatalf("drained engine has %d live events, want 0", e.LiveEvents())
-		}
-		return order
 	}
-
-	r := &refEngine{}
-	var handles []*refEvent
-	var schedule func(delay Duration)
-	schedule = func(delay Duration) {
+	scheduleClosure = func(d Duration) {
 		id := nextID
 		nextID++
-		handles = append(handles, r.schedule(delay, func() {
-			handles[id] = nil
-			order = append(order, id)
-			if b, ok := nextByte(); ok && b&3 == 3 {
-				schedule(scriptDelay(b))
-			}
+		cancels = append(cancels, q.schedule(d, func() { rec(id) }))
+	}
+	scheduleArg := func(d Duration) {
+		id := nextID
+		nextID++
+		cancels = append(cancels, q.scheduleArg(d, rec, id))
+	}
+	scheduleStop := func(d Duration) {
+		id := nextID
+		nextID++
+		cancels = append(cancels, q.schedule(d, func() {
+			cancels[id] = nil
+			res.order = append(res.order, id)
+			q.stop()
 		}))
 	}
+
 	for pos < len(script) {
 		b, _ := nextByte()
-		switch b & 3 {
-		case 0, 1, 3:
-			schedule(scriptDelay(b))
+		switch b & 7 {
+		case 0, 3, 7:
+			scheduleClosure(scriptDelay(b))
+		case 1:
+			scheduleArg(scriptDelay(b))
 		case 2:
-			if len(handles) > 0 {
-				i := int(b>>2) % len(handles)
-				if handles[i] != nil {
-					handles[i].canceled = true
-					handles[i] = nil
+			if len(cancels) > 0 {
+				if c := cancels[int(b>>3)%len(cancels)]; c != nil {
+					c()
+					cancels[int(b>>3)%len(cancels)] = nil
 				}
 			}
+		case 4:
+			res.runs = append(res.runs, q.runUntil(q.now().Add(scriptDelay(b))))
+		case 5:
+			scheduleStop(scriptDelay(b))
+		case 6:
+			scheduleClosure(scriptDelay(b | 0x80)) // force the overflow heap
 		}
 	}
-	for r.step() {
+	q.drain()
+	res.now = q.now()
+	res.hash = q.hash()
+	return res
+}
+
+// diffScriptResults fails the test when two executions of the same script
+// observed different behaviour.
+func diffScriptResults(t *testing.T, real, ref scriptResult) {
+	t.Helper()
+	if len(real.order) != len(ref.order) {
+		t.Fatalf("engine fired %d events, reference fired %d", len(real.order), len(ref.order))
 	}
-	return order
+	for i := range real.order {
+		if real.order[i] != ref.order[i] {
+			t.Fatalf("firing order diverges at %d: engine %v, reference %v", i, real.order, ref.order)
+		}
+	}
+	if len(real.runs) != len(ref.runs) {
+		t.Fatalf("RunUntil call counts differ: %v vs %v", real.runs, ref.runs)
+	}
+	for i := range real.runs {
+		if real.runs[i] != ref.runs[i] {
+			t.Fatalf("RunUntil #%d executed %d events on the engine, %d on the reference", i, real.runs[i], ref.runs[i])
+		}
+	}
+	if real.now != ref.now {
+		t.Fatalf("final time diverges: engine %v, reference %v", real.now, ref.now)
+	}
+	if real.hash != ref.hash {
+		t.Fatalf("trace hash diverges: engine %#x, reference %#x", real.hash, ref.hash)
+	}
+}
+
+func runScriptBothWays(t *testing.T, script []byte) {
+	t.Helper()
+	e := NewEngine()
+	e.EnableTraceHash()
+	real := runQueueScript(t, script, realQueue{e})
+	if e.LiveEvents() != 0 {
+		t.Fatalf("drained engine has %d live events, want 0", e.LiveEvents())
+	}
+	ref := runQueueScript(t, script, refQueue{&refEngine{hash: fnvOffset}})
+	diffScriptResults(t, real, ref)
+}
+
+// FuzzEngineQueue feeds a byte-encoded script — interleaved schedule (At),
+// AtArg, Cancel, RunUntil and Stop actions plus nested scheduling from
+// callbacks — to the production engine (calendar ring + overflow heap + event
+// pool + cached next candidate) and to the naive refEngine specification, and
+// requires bit-identical execution: the same (time, seq) firing order, the
+// same per-RunUntil event counts, the same final simulated time, and the same
+// trace hash. It also asserts the event pool's live-object count returns to
+// zero once the queue drains.
+func FuzzEngineQueue(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x42, 0x81, 0xc3, 0x07, 0xff, 0x10})
+	f.Add([]byte{0x03, 0x03, 0x03, 0x80, 0x80, 0x41, 0x02, 0x9f, 0x60, 0x33})
+	// RunUntil slicing a schedule into segments, with a Stop landing mid-run.
+	f.Add([]byte{0x00, 0x09, 0x85, 0x0c, 0x11, 0x04, 0x30, 0x2c, 0x06, 0x84})
+	// Cancel racing the cached candidate: schedule, cancel, reschedule, run.
+	f.Add([]byte{0x08, 0x02, 0x10, 0x0a, 0x04, 0x12, 0x86, 0x05, 0x44})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		runScriptBothWays(t, script)
+	})
+}
+
+// TestEngineQueueScriptProperty is the deterministic (go test) face of the
+// fuzz harness: randomized scripts through testing/quick must hold the same
+// engine-equals-reference property, so the interleaved At/AtArg/Cancel/
+// RunUntil/Stop coverage runs on every CI test pass, not just fuzz runs.
+func TestEngineQueueScriptProperty(t *testing.T) {
+	prop := func(script []byte) bool {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		runScriptBothWays(t, script) // fails the test directly on divergence
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scriptDelay maps an action byte to a delay that lands in the calendar
+// window (low bytes) or the overflow heap (high bytes), so both queue levels
+// are exercised by most scripts.
+func scriptDelay(b byte) Duration {
+	if b&0x80 != 0 {
+		return Duration(int(b&0x7f))*2048 + 70_000 // beyond the ~65 ns window
+	}
+	return Duration(int(b) * 40) // inside the calendar ring
 }
 
 // TestEngineLiveEventsAccounting pins the live-event pool accounting: queued

@@ -1,0 +1,185 @@
+// Package simarena pools the expensive, resettable building blocks of a
+// simulated machine across runs: the discrete-event engine (whose event free
+// list and calendar backing arrays are the hottest allocations in a sweep),
+// the physical memory (whose lazily materialized frames dominate resident
+// bytes), and the harvested free lists of the coherence and network message
+// pools.
+//
+// An Arena belongs to exactly one sweep worker at a time — it is
+// deliberately not synchronized, matching the simulator's one-goroutine-per-
+// machine execution model. A worker that runs many simulations back to back
+// builds its first machine from scratch, and every later machine draws the
+// recycled parts, so steady-state sweep throughput stops paying construction
+// and garbage-collection cost per run.
+//
+// Reuse is observation-equivalent to fresh construction: every recycled part
+// is reset to fresh-machine semantics (engine at time zero with an empty
+// queue, memory all-zero at the requested capacity, messages indistinguishable
+// from pool-miss allocations), so a sweep over a reused arena produces
+// bit-identical Results — the runner's byte-identity test enforces this.
+package simarena
+
+import (
+	"ccsvm/internal/coherence"
+	"ccsvm/internal/mem"
+	"ccsvm/internal/noc"
+	"ccsvm/internal/sim"
+)
+
+// Stats counts the arena's traffic: how many component requests were served
+// from the free lists versus built fresh. Purely observability; not part of
+// any Result.
+type Stats struct {
+	// EngineReuses/EngineBuilds count Engine() calls served from the arena
+	// versus constructed.
+	EngineReuses, EngineBuilds uint64
+	// PhysicalReuses/PhysicalBuilds count Physical() calls likewise.
+	PhysicalReuses, PhysicalBuilds uint64
+	// CohMsgs/NocMsgs count protocol and network messages currently parked on
+	// the arena between machines.
+	CohMsgs, NocMsgs int
+}
+
+// Arena is a per-worker free store of machine parts. The zero value is ready
+// to use; a nil *Arena is also valid and makes every method fall through to
+// fresh construction, so machine constructors call it unconditionally.
+type Arena struct {
+	engines []*sim.Engine
+	phys    []*mem.Physical
+	cohMsgs []*coherence.Msg
+	nocMsgs []*noc.Message
+	stats   Stats
+}
+
+// New returns an empty arena.
+func New() *Arena { return &Arena{} }
+
+// Engine returns an engine with fresh semantics: a recycled one when the
+// arena has one parked (already Reset), otherwise a new one.
+//
+//ccsvm:pooled get
+func (a *Arena) Engine() *sim.Engine {
+	if a != nil {
+		if n := len(a.engines); n > 0 {
+			e := a.engines[n-1]
+			a.engines[n-1] = nil
+			a.engines = a.engines[:n-1]
+			a.stats.EngineReuses++
+			return e
+		}
+		a.stats.EngineBuilds++
+	}
+	return sim.NewEngine()
+}
+
+// RecycleEngine resets the engine (releasing any still-queued events into its
+// free list) and parks it for the next machine. No-op on a nil arena or
+// engine.
+//
+//ccsvm:pooled put
+func (a *Arena) RecycleEngine(e *sim.Engine) {
+	if a == nil || e == nil {
+		return
+	}
+	e.Reset()
+	a.engines = append(a.engines, e)
+}
+
+// Physical returns a physical memory of the given capacity with every byte
+// zero: a recycled one when available (Reset to the requested size, keeping
+// its materialized frames), otherwise a new one.
+//
+//ccsvm:pooled get
+func (a *Arena) Physical(size uint64) *mem.Physical {
+	if a != nil {
+		if n := len(a.phys); n > 0 {
+			p := a.phys[n-1]
+			a.phys[n-1] = nil
+			a.phys = a.phys[:n-1]
+			p.Reset(size)
+			a.stats.PhysicalReuses++
+			return p
+		}
+		a.stats.PhysicalBuilds++
+	}
+	return mem.NewPhysical(size)
+}
+
+// RecyclePhysical parks a memory for reuse. The expensive zeroing happens at
+// the next Physical() call, which also knows the capacity the next machine
+// wants. No-op on a nil arena or memory.
+//
+//ccsvm:pooled put
+func (a *Arena) RecyclePhysical(p *mem.Physical) {
+	if a == nil || p == nil {
+		return
+	}
+	a.phys = append(a.phys, p)
+}
+
+// TakeCohMsgs hands the parked coherence-protocol messages to the caller
+// (typically to seed a new machine's first controller pool) and empties the
+// arena's list. Returns nil when the arena is nil or empty.
+//
+//ccsvm:pooled get
+func (a *Arena) TakeCohMsgs() []*coherence.Msg {
+	if a == nil || len(a.cohMsgs) == 0 {
+		return nil
+	}
+	ms := a.cohMsgs
+	a.cohMsgs = nil
+	a.stats.CohMsgs = 0
+	return ms
+}
+
+// RecycleCohMsgs parks drained coherence messages for the next machine.
+//
+//ccsvm:pooled put
+func (a *Arena) RecycleCohMsgs(ms []*coherence.Msg) {
+	if a == nil || len(ms) == 0 {
+		return
+	}
+	if a.cohMsgs == nil {
+		a.cohMsgs = ms
+	} else {
+		a.cohMsgs = append(a.cohMsgs, ms...)
+	}
+	a.stats.CohMsgs = len(a.cohMsgs)
+}
+
+// TakeNocMsgs hands the parked network-message envelopes to the caller and
+// empties the arena's list. Returns nil when the arena is nil or empty.
+//
+//ccsvm:pooled get
+func (a *Arena) TakeNocMsgs() []*noc.Message {
+	if a == nil || len(a.nocMsgs) == 0 {
+		return nil
+	}
+	ms := a.nocMsgs
+	a.nocMsgs = nil
+	a.stats.NocMsgs = 0
+	return ms
+}
+
+// RecycleNocMsgs parks drained network envelopes for the next machine.
+//
+//ccsvm:pooled put
+func (a *Arena) RecycleNocMsgs(ms []*noc.Message) {
+	if a == nil || len(ms) == 0 {
+		return
+	}
+	if a.nocMsgs == nil {
+		a.nocMsgs = ms
+	} else {
+		a.nocMsgs = append(a.nocMsgs, ms...)
+	}
+	a.stats.NocMsgs = len(a.nocMsgs)
+}
+
+// Stats reports the arena's reuse accounting. Nil arenas report zeroes.
+func (a *Arena) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	return a.stats
+}

@@ -29,7 +29,10 @@ type tlbEntry struct {
 type TLB struct {
 	cfg     TLBConfig
 	entries map[mem.PageNumber]*tlbEntry
-	tick    uint64
+	// last is the entry of the most recent hit or insert: translations are
+	// heavily page-local, so most lookups resolve here without hashing.
+	last *tlbEntry
+	tick uint64
 
 	hits    *stats.Counter
 	misses  *stats.Counter
@@ -51,12 +54,22 @@ func NewTLB(cfg TLBConfig, reg *stats.Registry) *TLB {
 }
 
 // Lookup returns the cached translation for the page containing va.
+//
+//ccsvm:hotpath
 func (t *TLB) Lookup(va mem.VAddr) (mem.FrameNumber, bool, bool) {
-	e, ok := t.entries[mem.PageOf(va)]
+	page := mem.PageOf(va)
+	if e := t.last; e != nil && e.page == page {
+		t.tick++
+		e.lru = t.tick
+		t.hits.Inc()
+		return e.frame, e.writable, true
+	}
+	e, ok := t.entries[page]
 	if !ok {
 		t.misses.Inc()
 		return 0, false, false
 	}
+	t.last = e
 	t.tick++
 	e.lru = t.tick
 	t.hits.Inc()
@@ -69,6 +82,7 @@ func (t *TLB) Insert(va mem.VAddr, frame mem.FrameNumber, writable bool) {
 	if e, ok := t.entries[page]; ok {
 		t.tick++
 		e.frame, e.writable, e.lru = frame, writable, t.tick
+		t.last = e
 		return
 	}
 	if len(t.entries) >= t.cfg.Entries {
@@ -81,20 +95,30 @@ func (t *TLB) Insert(va mem.VAddr, frame mem.FrameNumber, writable bool) {
 			}
 		}
 		delete(t.entries, victim)
+		if t.last != nil && t.last.page == victim {
+			t.last = nil
+		}
 	}
 	t.tick++
-	t.entries[page] = &tlbEntry{page: page, frame: frame, writable: writable, lru: t.tick}
+	e := &tlbEntry{page: page, frame: frame, writable: writable, lru: t.tick}
+	t.entries[page] = e
+	t.last = e
 }
 
 // InvalidatePage removes one translation (selective shootdown).
 func (t *TLB) InvalidatePage(va mem.VAddr) {
-	delete(t.entries, mem.PageOf(va))
+	page := mem.PageOf(va)
+	delete(t.entries, page)
+	if t.last != nil && t.last.page == page {
+		t.last = nil
+	}
 }
 
 // Flush empties the TLB (the conservative shootdown used for MTTOP cores).
 func (t *TLB) Flush() {
 	t.flushes.Inc()
 	t.entries = make(map[mem.PageNumber]*tlbEntry, t.cfg.Entries)
+	t.last = nil
 }
 
 // Occupancy reports how many translations are cached.

@@ -50,15 +50,18 @@ type MainFunc func(ctx *CPUContext)
 type Runtime struct {
 	proc    *kernelos.Process
 	clockFn func() sim.Time
+	gate    *exec.Gate
 	kernels []KernelFunc
 	threads []*exec.Thread
 	nextID  int
 }
 
 // NewRuntime creates the runtime for one process. now exposes the machine's
-// simulated clock to workloads (for measurement windows).
-func NewRuntime(proc *kernelos.Process, now func() sim.Time) *Runtime {
-	return &Runtime{proc: proc, clockFn: now}
+// simulated clock to workloads (for measurement windows); gate is the
+// machine's cooperative thread scheduler, which every thread the runtime
+// creates runs under.
+func NewRuntime(proc *kernelos.Process, now func() sim.Time, gate *exec.Gate) *Runtime {
+	return &Runtime{proc: proc, clockFn: now, gate: gate}
 }
 
 // Process returns the process whose address space the program uses.
@@ -85,7 +88,7 @@ func (r *Runtime) Kernel(id int) KernelFunc {
 // the machine installs this as the MIFD's thread factory.
 func (r *Runtime) NewMTTOPThread(kernelID, tid int, args mem.VAddr) *exec.Thread {
 	k := r.Kernel(kernelID)
-	t := exec.NewThread(tid, fmt.Sprintf("mttop-k%d-t%d", kernelID, tid), func(ec *exec.Context) {
+	t := exec.NewThread(r.gate, tid, fmt.Sprintf("mttop-k%d-t%d", kernelID, tid), func(ec *exec.Context) {
 		k(&MTTOPContext{Context: ec, rt: r, tid: tid, args: args})
 	})
 	r.threads = append(r.threads, t)
@@ -99,7 +102,7 @@ func (r *Runtime) NewMTTOPThread(kernelID, tid int, args mem.VAddr) *exec.Thread
 func (r *Runtime) NewCPUThread(name string, fn MainFunc) *exec.Thread {
 	id := r.nextID
 	r.nextID++
-	t := exec.NewThread(id, name, func(ec *exec.Context) {
+	t := exec.NewThread(r.gate, id, name, func(ec *exec.Context) {
 		fn(&CPUContext{Context: ec, rt: r})
 	})
 	r.threads = append(r.threads, t)
