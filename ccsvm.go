@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ccsvm/internal/apu"
+	"ccsvm/internal/coherence"
 	"ccsvm/internal/core"
 	"ccsvm/internal/simarena"
 	"ccsvm/internal/workloads"
@@ -91,6 +92,11 @@ func LookupPreset(name string) (Preset, bool) { return workloads.LookupPreset(na
 
 // Presets returns every registered machine preset sorted by name.
 func Presets() []Preset { return workloads.Presets() }
+
+// Protocols lists the registered coherence protocol names in registry order —
+// the legal values of the ccsvm.Coherence.Protocol override path and the
+// memtest/stress -protocol flag.
+func Protocols() []string { return coherence.ProtocolNames() }
 
 // LookupPresetSystem builds a runnable System of the given kind from the
 // named preset — the one-call path the CLIs use. Unknown presets are a plain

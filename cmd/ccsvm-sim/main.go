@@ -67,6 +67,10 @@ func main() {
 		for _, p := range ccsvm.Presets() {
 			fmt.Printf("  %-18s [%s] %s\n", p.Name, p.Machine, p.Description)
 		}
+		fmt.Println("coherence protocols (-set ccsvm.coherence.protocol=...):")
+		for _, name := range ccsvm.Protocols() {
+			fmt.Printf("  %s\n", name)
+		}
 		return
 	}
 	if *listPaths {

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	ccsvm-stress -seed 1 -ops 100000 -preset ccsvm-base
+//	ccsvm-stress -protocol mesi           # stress the MESI table instead of MOESI
 //	ccsvm-stress -duration 30s            # keep drawing seeds for 30 s
 //	ccsvm-stress -inject-skip-invs 1      # prove the checks catch a planted bug
 package main
@@ -25,6 +26,7 @@ import (
 func main() {
 	var (
 		preset   = flag.String("preset", "ccsvm-base", "machine to stress: a ccsvm preset name, \"small\" or \"tiny\"")
+		protocol = flag.String("protocol", "", "coherence protocol to run (moesi, mesi); empty keeps the machine's configured one")
 		seed     = flag.Int64("seed", 1, "generator seed (replaying a seed reproduces a run bit for bit)")
 		ops      = flag.Int("ops", 100_000, "total operation budget, split across all threads")
 		cores    = flag.Int("cores", 3, "CPU threads (including main)")
@@ -49,6 +51,7 @@ func main() {
 	}
 	cfg := memtest.Config{
 		MachineName:             *preset,
+		Protocol:                *protocol,
 		Seed:                    *seed,
 		CPUThreads:              *cores,
 		MTTOPThreads:            *mttop,
@@ -87,6 +90,10 @@ func main() {
 			break
 		}
 	}
+	label := *preset
+	if *protocol != "" {
+		label += "/" + *protocol
+	}
 	fmt.Printf("PASS %d run(s) on %s (%d ops/run, %d threads, seed %d..%d) in %v\n",
-		runs, *preset, cfg.OpsPerThread*threads, threads, *seed, *seed+int64(runs-1), time.Since(start).Round(time.Millisecond))
+		runs, label, cfg.OpsPerThread*threads, threads, *seed, *seed+int64(runs-1), time.Since(start).Round(time.Millisecond))
 }

@@ -11,6 +11,7 @@
 //	paper-figs -fig table2          # the system-configuration table
 //	paper-figs -fig lanes           # MTTOP issue-width sensitivity sweep
 //	paper-figs -fig cache           # shared-L2 size sensitivity sweep
+//	paper-figs -fig protocols       # MOESI-vs-MESI coherence protocol sweep
 //
 // Every (workload, system) pair is resolved through the ccsvm registry and
 // executed by the facade's Runner; -parallel changes only wall-clock time,
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment to run: all, table2, 5, 6, 7, 8a, 8b, 9, code, lanes, cache")
+	fig := flag.String("fig", "all", "which experiment to run: all, table2, 5, 6, 7, 8a, 8b, 9, code, lanes, cache, protocols")
 	full := flag.Bool("full", false, "use the larger sweep sizes (slower)")
 	seed := flag.Int64("seed", 42, "workload input seed")
 	parallel := flag.Int("parallel", 1, "simulations to run concurrently (0 = GOMAXPROCS)")
@@ -78,6 +79,8 @@ func main() {
 		run("lane sensitivity", experiments.LaneSensitivity)
 	case "cache":
 		run("cache sensitivity", experiments.CacheSensitivity)
+	case "protocols":
+		run("protocol sensitivity", experiments.ProtocolSensitivity)
 	default:
 		fmt.Fprintf(os.Stderr, "paper-figs: unknown figure %q\n", *fig)
 		os.Exit(2)

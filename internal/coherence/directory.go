@@ -77,6 +77,9 @@ type BankConfig struct {
 	L2 cache.Config
 	// AccessLatency is the L2/directory access latency charged per request.
 	AccessLatency sim.Duration
+	// Protocol selects the coherence protocol tables this bank executes; nil
+	// selects MOESI. It must match the L1 controllers' protocol.
+	Protocol *Protocol
 	// Name prefixes this bank's statistics.
 	Name string
 }
@@ -91,6 +94,7 @@ type DirectoryBank struct {
 	id     noc.NodeID
 	net    noc.Network
 	cfg    BankConfig
+	proto  *Protocol
 	l2     *cache.Array
 	memory *dram.Controller
 
@@ -119,11 +123,16 @@ type DirectoryBank struct {
 // a DRAM channel.
 func NewDirectoryBank(engine *sim.Engine, id noc.NodeID, net noc.Network, cfg BankConfig,
 	memory *dram.Controller, reg *stats.Registry) *DirectoryBank {
+	proto := cfg.Protocol
+	if proto == nil {
+		proto = ProtocolMOESI
+	}
 	b := &DirectoryBank{
 		engine:  engine,
 		id:      id,
 		net:     net,
 		cfg:     cfg,
+		proto:   proto,
 		l2:      cache.NewArray(cfg.L2),
 		memory:  memory,
 		entries: make(map[mem.LineAddr]*dirEntry),
@@ -229,6 +238,9 @@ func (b *DirectoryBank) dispatchRequest(e *dirEntry, m *Msg) {
 
 func (b *DirectoryBank) handleRequest(e *dirEntry, m *Msg) {
 	b.requests.Inc()
+	if !b.proto.HasOwned && (e.state == DirOwned || m.Type == MsgPutO) {
+		panic(fmt.Sprintf("%s: %v with entry %v under %s", b.cfg.Name, m, e.state, b.proto.Name))
+	}
 	switch m.Type {
 	case MsgGetS:
 		b.handleGetS(e, m)
@@ -356,6 +368,11 @@ func (b *DirectoryBank) handlePut(e *dirEntry, m *Msg) {
 	send(b.net, b.id, m.Requestor, b.pool.get(MsgPutAck, m.Addr, m.Requestor))
 }
 
+// handleFwdDone resolves a completed forward through the protocol's dirDone
+// table: the pending request type crossed with the state the former owner
+// kept decides the next directory state, the owner/sharer bookkeeping, and —
+// for protocols without owner-forwarding — the data response the directory
+// itself owes the requestor.
 func (b *DirectoryBank) handleFwdDone(m *Msg) {
 	e := b.entryOf(m.Addr)
 	if !e.busy || e.pending == nil {
@@ -365,35 +382,40 @@ func (b *DirectoryBank) handleFwdDone(m *Msg) {
 		b.installL2(m.Addr, true)
 	}
 	p := e.pending
+	act, ok := b.proto.dirDone[dirDoneKey{p.Type, m.OwnerKept}]
+	if !ok {
+		panic(fmt.Sprintf("%s: FwdDone kept %v for pending %v under %s", b.cfg.Name, m.OwnerKept, p.Type, b.proto.Name))
+	}
+	addr, req := p.Addr, p.Requestor
 	oldOwner := e.owner
-	switch p.Type {
-	case MsgGetS:
-		switch m.OwnerKept {
-		case cache.Owned:
-			e.state = DirOwned
-			e.sharers[p.Requestor] = struct{}{}
-		case cache.Shared:
-			e.state = DirShared
-			e.owner = 0
-			e.sharers[oldOwner] = struct{}{}
-			e.sharers[p.Requestor] = struct{}{}
-		case cache.Invalid:
-			e.state = DirShared
-			e.owner = 0
-			e.sharers[p.Requestor] = struct{}{}
-		default:
-			panic(fmt.Sprintf("%s: FwdDone kept %v", b.cfg.Name, m.OwnerKept))
-		}
-	case MsgGetM:
-		e.state = DirExclusive
-		e.owner = p.Requestor
+	e.state = act.next
+	switch {
+	case act.ownerToRequestor:
+		e.owner = req
+	case act.clearOwner:
+		e.owner = 0
+	}
+	if act.clearSharers {
 		e.sharers = make(map[noc.NodeID]struct{})
-	default:
-		panic(fmt.Sprintf("%s: pending %v on FwdDone", b.cfg.Name, p))
+	}
+	if act.addOldOwner {
+		e.sharers[oldOwner] = struct{}{}
+	}
+	if act.addRequestor {
+		e.sharers[req] = struct{}{}
 	}
 	e.busy = false
 	e.pending = nil
 	b.pool.put(p)
+	if act.respond {
+		// No owner-forwarding: the line is home (installed above when dirty,
+		// refetched from DRAM below if the clean copy was evicted), and the
+		// directory answers the requestor itself. The forward only came from
+		// a single-owner entry, so a write collects no invalidation acks.
+		b.withL2Data(e, addr, func() {
+			send(b.net, b.id, req, b.pool.get(act.data, addr, req))
+		})
+	}
 	b.drainQueue(e)
 }
 

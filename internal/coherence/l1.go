@@ -18,6 +18,10 @@ type L1Config struct {
 	// HitLatency is the load-to-use latency of a hit (2 CPU cycles for CPU
 	// cores, 1 MTTOP cycle for MTTOP cores).
 	HitLatency sim.Duration
+	// Protocol selects the coherence protocol tables this controller
+	// executes; nil selects MOESI, the paper's baseline. Every controller in
+	// a machine must run the same protocol.
+	Protocol *Protocol
 	// Name prefixes this controller's statistics.
 	Name string
 }
@@ -55,8 +59,9 @@ type evictEntry struct {
 }
 
 // L1Controller is the coherence controller of one private L1 data cache. It
-// accepts requests from its core through the mem.Port interface and speaks
-// the MOESI directory protocol on the on-chip network.
+// accepts requests from its core through the mem.Port interface and executes
+// its configured protocol's transition tables (MOESI by default) against the
+// directory banks on the on-chip network.
 //
 //ccsvm:state
 type L1Controller struct {
@@ -66,6 +71,7 @@ type L1Controller struct {
 	//ccsvm:stateok // pure address-interleaving function; rebuilt from the bank list on restore
 	banks   BankMapper
 	cfg     L1Config
+	proto   *Protocol
 	array   *cache.Array
 	checker *Checker
 
@@ -88,18 +94,24 @@ type L1Controller struct {
 	evictsDirty *stats.Counter
 	invsRecv    *stats.Counter
 	fwdsRecv    *stats.Counter
+	dataFwds    *stats.Counter
 }
 
 // NewL1Controller builds an L1 controller and attaches it to the network at
 // the given node ID.
 func NewL1Controller(engine *sim.Engine, id noc.NodeID, net noc.Network, banks BankMapper,
 	cfg L1Config, checker *Checker, reg *stats.Registry) *L1Controller {
+	proto := cfg.Protocol
+	if proto == nil {
+		proto = ProtocolMOESI
+	}
 	c := &L1Controller{
 		engine:    engine,
 		id:        id,
 		net:       net,
 		banks:     banks,
 		cfg:       cfg,
+		proto:     proto,
 		array:     cache.NewArray(cfg.Cache),
 		checker:   checker,
 		mshrs:     make(map[mem.LineAddr]*mshr),
@@ -118,6 +130,7 @@ func NewL1Controller(engine *sim.Engine, id noc.NodeID, net noc.Network, banks B
 	c.evictsDirty = reg.Counter(cfg.Name + ".evictions_dirty")
 	c.invsRecv = reg.Counter(cfg.Name + ".invalidations")
 	c.fwdsRecv = reg.Counter(cfg.Name + ".forwards")
+	c.dataFwds = reg.Counter(cfg.Name + ".data_forwards")
 	net.Attach(id, c)
 	return c
 }
@@ -227,36 +240,28 @@ func (c *L1Controller) startTransaction(p pendingAccess, line *cache.Line, needW
 	send(c.net, c.id, c.banks(addr), c.pool.get(typ, addr, c.id))
 }
 
-// evictLine handles a victim chosen by the replacement policy.
+// evictLine handles a victim chosen by the replacement policy, following the
+// protocol's eviction table. A silent row (clean sharers) drops the line with
+// no directory traffic — the sharer list becomes conservative, which is
+// harmless because we still ack any future invalidation.
 func (c *L1Controller) evictLine(victim cache.Line) {
-	switch victim.State {
-	case cache.Shared:
-		// Silent eviction: the directory's sharer list becomes conservative,
-		// which is harmless (we still ack any future invalidation).
-		c.evictsClean.Inc()
-		c.checker.Record(c.id, victim.Addr, cache.Invalid)
-	case cache.Exclusive:
-		c.evictsClean.Inc()
-		c.checker.Record(c.id, victim.Addr, cache.Invalid)
-		c.evictions[victim.Addr] = &evictEntry{state: cache.EIA}
-		send(c.net, c.id, c.banks(victim.Addr), c.pool.get(MsgPutE, victim.Addr, c.id))
-	case cache.Modified:
-		c.evictsDirty.Inc()
-		c.checker.Record(c.id, victim.Addr, cache.Invalid)
-		c.evictions[victim.Addr] = &evictEntry{state: cache.MIA}
-		put := c.pool.get(MsgPutM, victim.Addr, c.id)
-		put.Dirty = true
-		send(c.net, c.id, c.banks(victim.Addr), put)
-	case cache.Owned:
-		c.evictsDirty.Inc()
-		c.checker.Record(c.id, victim.Addr, cache.Invalid)
-		c.evictions[victim.Addr] = &evictEntry{state: cache.OIA}
-		put := c.pool.get(MsgPutO, victim.Addr, c.id)
-		put.Dirty = true
-		send(c.net, c.id, c.banks(victim.Addr), put)
-	default:
-		panic(fmt.Sprintf("%s: evicting line in state %v", c.cfg.Name, victim.State))
+	act, ok := c.proto.evict[victim.State]
+	if !ok {
+		panic(fmt.Sprintf("%s: evicting line in state %v under %s", c.cfg.Name, victim.State, c.proto.Name))
 	}
+	if act.dirty {
+		c.evictsDirty.Inc()
+	} else {
+		c.evictsClean.Inc()
+	}
+	c.checker.Record(c.id, victim.Addr, cache.Invalid)
+	if act.silent {
+		return
+	}
+	c.evictions[victim.Addr] = &evictEntry{state: act.next}
+	put := c.pool.get(act.put, victim.Addr, c.id)
+	put.Dirty = act.dirty
+	send(c.net, c.id, c.banks(victim.Addr), put)
 }
 
 // Receive implements noc.Receiver. Responses, invalidations and put-acks are
@@ -297,14 +302,11 @@ func (c *L1Controller) handleResponse(m *Msg) {
 	}
 	switch line.State {
 	case cache.ISD:
-		switch m.Type {
-		case MsgData:
-			c.complete(ms, line, cache.Shared)
-		case MsgDataExcl:
-			c.complete(ms, line, cache.Exclusive)
-		default:
+		final, ok := c.proto.fill[m.Type]
+		if !ok {
 			panic(fmt.Sprintf("%s: %v in IS_D", c.cfg.Name, m))
 		}
+		c.complete(ms, line, final)
 	case cache.ISDI:
 		// The line was invalidated while the fill was in flight: the data
 		// satisfies the pending loads exactly once and the line is dropped.
@@ -438,82 +440,68 @@ func (c *L1Controller) handleFwd(m *Msg) {
 		}
 		panic(fmt.Sprintf("%s: forward %v but line state is %v", c.cfg.Name, m, st))
 	}
-	switch m.Type {
-	case MsgFwdGetS:
-		send(c.net, c.id, m.Requestor, c.pool.get(MsgData, m.Addr, m.Requestor))
-		switch line.State {
-		case cache.Modified:
-			line.State = cache.Owned
-			c.checker.Record(c.id, m.Addr, cache.Owned)
-			c.sendFwdDone(m.Addr, cache.Owned, true)
-		case cache.Owned:
-			c.sendFwdDone(m.Addr, cache.Owned, true)
-		case cache.Exclusive:
-			line.State = cache.Shared
-			c.checker.Record(c.id, m.Addr, cache.Shared)
-			c.sendFwdDone(m.Addr, cache.Shared, false)
-		}
-	case MsgFwdGetM:
-		dirty := line.State == cache.Modified || line.State == cache.Owned
-		excl := c.pool.get(MsgDataExcl, m.Addr, m.Requestor)
-		excl.AckCount = m.AckCount
-		send(c.net, c.id, m.Requestor, excl)
+	act := c.fwdAction(line.State, m)
+	c.answerFwd(m, act)
+	if act.next == cache.Invalid {
 		c.array.Invalidate(m.Addr)
 		c.checker.Record(c.id, m.Addr, cache.Invalid)
-		c.sendFwdDone(m.Addr, cache.Invalid, dirty)
+	} else if act.next != line.State {
+		line.State = act.next
+		c.checker.Record(c.id, m.Addr, act.next)
 	}
+	c.sendFwdDone(m.Addr, act.kept, act.dirty)
 	c.pool.put(m)
 }
 
+// fwdAction looks up the protocol's forward table for an owner-side state; a
+// missing row is a protocol violation.
+func (c *L1Controller) fwdAction(st cache.State, m *Msg) fwdAction {
+	act, ok := c.proto.fwd[fwdKey{st, m.Type}]
+	if !ok {
+		panic(fmt.Sprintf("%s: %v in state %v under %s", c.cfg.Name, m, st, c.proto.Name))
+	}
+	return act
+}
+
+// answerFwd sends the data an owner forwards directly to the requestor; it is
+// a no-op under protocols without owner-forwarding, whose directory answers
+// the requestor itself after the FwdDone writeback.
+func (c *L1Controller) answerFwd(m *Msg, act fwdAction) {
+	if !act.forward {
+		return
+	}
+	c.dataFwds.Inc()
+	out := c.pool.get(act.data, m.Addr, m.Requestor)
+	if act.data == MsgDataExcl {
+		out.AckCount = m.AckCount
+	}
+	send(c.net, c.id, m.Requestor, out)
+}
+
 // fwdWhileUpgrading answers a forward received while an upgrade from Owned is
-// waiting to be processed by the directory.
+// waiting to be processed by the directory: supplying data for a read leaves
+// this cache the registered owner (its GetM will be processed later, owner
+// intact); a write ordered first takes the line and the upgrade falls back to
+// a full IM_AD fill.
 func (c *L1Controller) fwdWhileUpgrading(m *Msg, ms *mshr, line *cache.Line) {
-	switch m.Type {
-	case MsgFwdGetS:
-		// Supply data and remain the owner; our GetM will be processed later
-		// with this cache still registered as owner.
-		send(c.net, c.id, m.Requestor, c.pool.get(MsgData, m.Addr, m.Requestor))
-		c.sendFwdDone(m.Addr, cache.Owned, true)
-	case MsgFwdGetM:
-		// Another writer was ordered first: hand over the line; our GetM will
-		// be answered later with full data.
-		excl := c.pool.get(MsgDataExcl, m.Addr, m.Requestor)
-		excl.AckCount = m.AckCount
-		send(c.net, c.id, m.Requestor, excl)
-		c.sendFwdDone(m.Addr, cache.Invalid, true)
-		line.State = cache.IMAD
+	act := c.fwdAction(cache.SMAD, m)
+	c.answerFwd(m, act)
+	if act.next != cache.SMAD {
+		line.State = act.next
 		ms.fromOwned = false
 		c.checker.Record(c.id, m.Addr, cache.Invalid)
 	}
+	c.sendFwdDone(m.Addr, act.kept, act.dirty)
 }
 
 // fwdFromEviction services a forward for a line that sits in the eviction
 // buffer (its Put has not been acknowledged yet, so this cache is still the
 // owner from the directory's point of view).
 func (c *L1Controller) fwdFromEviction(m *Msg, ev *evictEntry) {
-	switch m.Type {
-	case MsgFwdGetS:
-		send(c.net, c.id, m.Requestor, c.pool.get(MsgData, m.Addr, m.Requestor))
-		switch ev.state {
-		case cache.MIA:
-			ev.state = cache.OIA
-			c.sendFwdDone(m.Addr, cache.Owned, true)
-		case cache.OIA:
-			c.sendFwdDone(m.Addr, cache.Owned, true)
-		case cache.EIA:
-			ev.state = cache.IIA
-			c.sendFwdDone(m.Addr, cache.Invalid, false)
-		default:
-			panic(fmt.Sprintf("%s: FwdGetS to eviction entry in %v", c.cfg.Name, ev.state))
-		}
-	case MsgFwdGetM:
-		dirty := ev.state == cache.MIA || ev.state == cache.OIA
-		excl := c.pool.get(MsgDataExcl, m.Addr, m.Requestor)
-		excl.AckCount = m.AckCount
-		send(c.net, c.id, m.Requestor, excl)
-		c.sendFwdDone(m.Addr, cache.Invalid, dirty)
-		ev.state = cache.IIA
-	}
+	act := c.fwdAction(ev.state, m)
+	c.answerFwd(m, act)
+	ev.state = act.next
+	c.sendFwdDone(m.Addr, act.kept, act.dirty)
 }
 
 func (c *L1Controller) sendFwdDone(addr mem.LineAddr, kept cache.State, dirty bool) {
@@ -530,21 +518,15 @@ func (c *L1Controller) handleInv(m *Msg) {
 	}
 	if ms := c.mshrs[m.Addr]; ms != nil {
 		line := c.array.Lookup(m.Addr)
-		switch line.State {
-		case cache.SMAD:
-			// Our upgrade lost the race: we are invalidated and our GetM will
-			// be answered with full data later.
-			line.State = cache.IMAD
-			c.checker.Record(c.id, m.Addr, cache.Invalid)
-			ack()
-		case cache.ISD:
-			line.State = cache.ISDI
-			ack()
-		case cache.ISDI:
-			ack()
-		default:
-			panic(fmt.Sprintf("%s: Inv in transient state %v", c.cfg.Name, line.State))
+		act, ok := c.proto.inv[line.State]
+		if !ok {
+			panic(fmt.Sprintf("%s: Inv in transient state %v under %s", c.cfg.Name, line.State, c.proto.Name))
 		}
+		line.State = act.next
+		if act.record {
+			c.checker.Record(c.id, m.Addr, cache.Invalid)
+		}
+		ack()
 		return
 	}
 	if _, ok := c.evictions[m.Addr]; ok {
@@ -558,14 +540,17 @@ func (c *L1Controller) handleInv(m *Msg) {
 		ack()
 		return
 	}
-	switch line.State {
-	case cache.Shared:
-		c.array.Invalidate(m.Addr)
-		c.checker.Record(c.id, m.Addr, cache.Invalid)
-		ack()
-	default:
-		panic(fmt.Sprintf("%s: Inv in state %v", c.cfg.Name, line.State))
+	act, ok := c.proto.inv[line.State]
+	if !ok {
+		panic(fmt.Sprintf("%s: Inv in state %v under %s", c.cfg.Name, line.State, c.proto.Name))
 	}
+	if act.next == cache.Invalid {
+		c.array.Invalidate(m.Addr)
+	}
+	if act.record {
+		c.checker.Record(c.id, m.Addr, cache.Invalid)
+	}
+	ack()
 }
 
 func (c *L1Controller) handlePutAck(m *Msg) {
@@ -603,6 +588,11 @@ func (c *L1Controller) Flush() {
 		c.evictLine(v)
 	}
 }
+
+// DataForwards reports how many times this cache answered a forward with data
+// sent directly to the requestor. Structurally zero under protocols without
+// owner-forwarding — the memtest harness asserts exactly that.
+func (c *L1Controller) DataForwards() uint64 { return c.dataFwds.Value() }
 
 // OutstandingTransactions reports the number of in-flight MSHRs (tests use
 // this to confirm quiescence).

@@ -1,0 +1,270 @@
+package coherence
+
+import (
+	"fmt"
+
+	"ccsvm/internal/cache"
+)
+
+// This file defines the protocol tables the L1 and directory controllers
+// execute. A Protocol is pure data: every (state × event) cell names the
+// message to emit, the next state, and the bookkeeping the directory needs —
+// the controllers supply the structural machinery (MSHRs, queues, pools, L2
+// fills) and look transitions up here instead of open-coding them. Adding a
+// protocol means writing a new set of tables, not new controller logic; see
+// ARCHITECTURE.md "Coherence protocols".
+
+// fwdKey indexes the owner-side forward table: the owner's current state
+// (stable M/O/E, an eviction-buffer MI_A/OI_A/EI_A, or SM_AD for an upgrade
+// issued from Owned) crossed with the forward type.
+type fwdKey struct {
+	state cache.State
+	fwd   MsgType
+}
+
+// fwdAction says how an owner answers a forward: whether it supplies the data
+// directly to the requestor (owner-forwarding), what state it keeps, and what
+// it reports to the directory on FwdDone.
+type fwdAction struct {
+	// forward, when set, has the owner send data (MsgData or MsgDataExcl)
+	// straight to the requestor — the 3-hop owner-forwarding path. When
+	// clear, the owner only reports FwdDone and the directory answers the
+	// requestor itself from the L2 — the 4-hop writeback-first path.
+	forward bool
+	// data is the message type carried to the requestor when forward is set.
+	data MsgType
+	// next is the owner's next state: a stable state or Invalid for a cached
+	// line, an eviction-buffer state for a line mid-writeback, or a transient
+	// state for an upgrade that lost the race.
+	next cache.State
+	// kept and dirty populate the FwdDone message: the stable state the
+	// directory should record for the former owner, and whether the line
+	// rides along to refresh the inclusive L2.
+	kept  cache.State
+	dirty bool
+}
+
+// evictAction says how a victim in a stable state leaves the cache.
+type evictAction struct {
+	// silent drops the line with no directory traffic (clean sharers).
+	silent bool
+	// put is the writeback request type when not silent.
+	put MsgType
+	// next is the eviction-buffer state held until the put is acknowledged.
+	next cache.State
+	// dirty marks the put as carrying a line newer than the L2/memory copy.
+	dirty bool
+}
+
+// invAction says how a cache holding the line in the keyed state answers an
+// invalidation (always acknowledged to the requestor; the table only decides
+// the state change).
+type invAction struct {
+	// next is the line's next state; Invalid on a stable sharer drops the
+	// line from the array.
+	next cache.State
+	// record notes the transition with the SWMR checker (transitions that
+	// never granted read permission have nothing to record).
+	record bool
+}
+
+// dirDoneKey indexes the directory's FwdDone resolution table: the request
+// type the directory is blocked on crossed with the state the former owner
+// reports having kept.
+type dirDoneKey struct {
+	pending MsgType
+	kept    cache.State
+}
+
+// dirDoneAction says how the directory resolves a completed forward.
+type dirDoneAction struct {
+	// next is the directory's next state for the line.
+	next DirState
+	// ownerToRequestor transfers registered ownership to the requestor;
+	// clearOwner drops it. (Neither set: the former owner stays registered.)
+	ownerToRequestor bool
+	clearOwner       bool
+	// addOldOwner / addRequestor grow the sharer list.
+	addOldOwner  bool
+	addRequestor bool
+	// clearSharers empties the sharer list (a new exclusive owner).
+	clearSharers bool
+	// respond, when set, has the directory answer the requestor itself with
+	// a message of type data out of the L2 — the protocols that forbid
+	// owner-forwarding use it; owner-forwarding protocols leave it clear
+	// because the data is already on its way from the former owner.
+	respond bool
+	data    MsgType
+}
+
+// Protocol is one directory coherence protocol expressed as transition
+// tables. The zero value is unusable; use LookupProtocol or the exported
+// instances.
+type Protocol struct {
+	// Name is the registry key ("moesi", "mesi") used by configuration.
+	Name string
+	// HasOwned reports whether the protocol uses the Owned state (and the
+	// Dir-O directory state, and PutO writebacks). Protocols without it must
+	// never see those states; the controllers enforce that loudly.
+	HasOwned bool
+
+	// fwd is the owner-side forward table (see fwdKey/fwdAction).
+	fwd map[fwdKey]fwdAction
+	// evict maps a victim's stable state to its writeback behavior.
+	evict map[cache.State]evictAction
+	// inv maps a cache's state to its invalidation behavior; states absent
+	// from the table cannot legally receive an invalidation.
+	inv map[cache.State]invAction
+	// fill maps the response type arriving in IS_D to the granted stable
+	// state (Data grants Shared, DataExcl grants Exclusive).
+	fill map[MsgType]cache.State
+	// dirDone is the directory's FwdDone resolution table (see dirDoneKey).
+	dirDone map[dirDoneKey]dirDoneAction
+}
+
+// ProtocolMOESI is the paper's baseline (Section 3.2.2): a full-map MOESI
+// directory with owner-forwarding. A Modified owner answering a read keeps
+// the dirty line in Owned and supplies data cache-to-cache; the directory
+// learns the outcome from FwdDone.
+var ProtocolMOESI = &Protocol{
+	Name:     "moesi",
+	HasOwned: true,
+	fwd: map[fwdKey]fwdAction{
+		// Stable owners. A read leaves the dirty owner in Owned (M degrades,
+		// O stays) or degrades a clean Exclusive to Shared; a write always
+		// hands the line over.
+		{cache.Modified, MsgFwdGetS}:  {forward: true, data: MsgData, next: cache.Owned, kept: cache.Owned, dirty: true},
+		{cache.Owned, MsgFwdGetS}:     {forward: true, data: MsgData, next: cache.Owned, kept: cache.Owned, dirty: true},
+		{cache.Exclusive, MsgFwdGetS}: {forward: true, data: MsgData, next: cache.Shared, kept: cache.Shared, dirty: false},
+		{cache.Modified, MsgFwdGetM}:  {forward: true, data: MsgDataExcl, next: cache.Invalid, kept: cache.Invalid, dirty: true},
+		{cache.Owned, MsgFwdGetM}:     {forward: true, data: MsgDataExcl, next: cache.Invalid, kept: cache.Invalid, dirty: true},
+		{cache.Exclusive, MsgFwdGetM}: {forward: true, data: MsgDataExcl, next: cache.Invalid, kept: cache.Invalid, dirty: false},
+		// Eviction buffers: the put is in flight but unacknowledged, so this
+		// cache is still the owner the directory forwarded to.
+		{cache.MIA, MsgFwdGetS}: {forward: true, data: MsgData, next: cache.OIA, kept: cache.Owned, dirty: true},
+		{cache.OIA, MsgFwdGetS}: {forward: true, data: MsgData, next: cache.OIA, kept: cache.Owned, dirty: true},
+		{cache.EIA, MsgFwdGetS}: {forward: true, data: MsgData, next: cache.IIA, kept: cache.Invalid, dirty: false},
+		{cache.MIA, MsgFwdGetM}: {forward: true, data: MsgDataExcl, next: cache.IIA, kept: cache.Invalid, dirty: true},
+		{cache.OIA, MsgFwdGetM}: {forward: true, data: MsgDataExcl, next: cache.IIA, kept: cache.Invalid, dirty: true},
+		{cache.EIA, MsgFwdGetM}: {forward: true, data: MsgDataExcl, next: cache.IIA, kept: cache.Invalid, dirty: false},
+		// An upgrade from Owned not yet processed by the directory: this
+		// cache is still the registered owner and the directory is blocked on
+		// its answer. A read is served while remaining the owner (the upgrade
+		// will be processed later, owner intact); a write ordered first takes
+		// the line — the upgrade falls back to a full IM_AD fill.
+		{cache.SMAD, MsgFwdGetS}: {forward: true, data: MsgData, next: cache.SMAD, kept: cache.Owned, dirty: true},
+		{cache.SMAD, MsgFwdGetM}: {forward: true, data: MsgDataExcl, next: cache.IMAD, kept: cache.Invalid, dirty: true},
+	},
+	evict: map[cache.State]evictAction{
+		cache.Shared:    {silent: true},
+		cache.Exclusive: {put: MsgPutE, next: cache.EIA},
+		cache.Modified:  {put: MsgPutM, next: cache.MIA, dirty: true},
+		cache.Owned:     {put: MsgPutO, next: cache.OIA, dirty: true},
+	},
+	inv: map[cache.State]invAction{
+		// A stable sharer drops its copy.
+		cache.Shared: {next: cache.Invalid, record: true},
+		// An upgrade lost the race: the writer ordered first invalidates us
+		// and our GetM will be answered with full data later.
+		cache.SMAD: {next: cache.IMAD, record: true},
+		// A fill lost the race: the in-flight data satisfies exactly one
+		// load, then the line drops.
+		cache.ISD:  {next: cache.ISDI},
+		cache.ISDI: {next: cache.ISDI},
+		// A stale sharer mid-refetch: this cache was silently evicted, the
+		// directory's list still names it, and a writer's invalidation can
+		// reach it after it has already issued a fresh GetM. Acknowledge and
+		// keep waiting — there is no data to drop, and our own request will
+		// be ordered (and answered in full) after the writer's.
+		cache.IMAD: {next: cache.IMAD},
+	},
+	fill: map[MsgType]cache.State{
+		MsgData:     cache.Shared,
+		MsgDataExcl: cache.Exclusive,
+	},
+	dirDone: map[dirDoneKey]dirDoneAction{
+		{MsgGetS, cache.Owned}:   {next: DirOwned, addRequestor: true},
+		{MsgGetS, cache.Shared}:  {next: DirShared, clearOwner: true, addOldOwner: true, addRequestor: true},
+		{MsgGetS, cache.Invalid}: {next: DirShared, clearOwner: true, addRequestor: true},
+		{MsgGetM, cache.Invalid}: {next: DirExclusive, ownerToRequestor: true, clearSharers: true},
+	},
+}
+
+// ProtocolMESI is the no-owner-forwarding variant: there is no Owned state,
+// and a dirty line is always written back to the directory before the
+// requestor is served. The owner of a forwarded line answers only with
+// FwdDone (carrying the line when dirty); the directory refreshes its
+// inclusive L2 and supplies the data itself. Reads of dirty lines therefore
+// take four hops (requestor → directory → owner → directory → requestor)
+// instead of MOESI's three.
+var ProtocolMESI = &Protocol{
+	Name:     "mesi",
+	HasOwned: false,
+	fwd: map[fwdKey]fwdAction{
+		// Stable owners: a read downgrades the owner to Shared and pushes
+		// dirty data home; a write hands the line over. The requestor is
+		// answered by the directory (forward is clear on every row).
+		{cache.Modified, MsgFwdGetS}:  {next: cache.Shared, kept: cache.Shared, dirty: true},
+		{cache.Exclusive, MsgFwdGetS}: {next: cache.Shared, kept: cache.Shared, dirty: false},
+		{cache.Modified, MsgFwdGetM}:  {next: cache.Invalid, kept: cache.Invalid, dirty: true},
+		{cache.Exclusive, MsgFwdGetM}: {next: cache.Invalid, kept: cache.Invalid, dirty: false},
+		// Eviction buffers: with no Owned state to linger in, any forward
+		// ends the eviction's ownership — the line goes home on the FwdDone
+		// (when dirty) and the in-flight put will draw a stale ack.
+		{cache.MIA, MsgFwdGetS}: {next: cache.IIA, kept: cache.Invalid, dirty: true},
+		{cache.EIA, MsgFwdGetS}: {next: cache.IIA, kept: cache.Invalid, dirty: false},
+		{cache.MIA, MsgFwdGetM}: {next: cache.IIA, kept: cache.Invalid, dirty: true},
+		{cache.EIA, MsgFwdGetM}: {next: cache.IIA, kept: cache.Invalid, dirty: false},
+		// No SM_AD rows: upgrades from Owned cannot exist without Owned.
+	},
+	evict: map[cache.State]evictAction{
+		cache.Shared:    {silent: true},
+		cache.Exclusive: {put: MsgPutE, next: cache.EIA},
+		cache.Modified:  {put: MsgPutM, next: cache.MIA, dirty: true},
+	},
+	inv: map[cache.State]invAction{
+		cache.Shared: {next: cache.Invalid, record: true},
+		cache.SMAD:   {next: cache.IMAD, record: true},
+		cache.ISD:    {next: cache.ISDI},
+		cache.ISDI:   {next: cache.ISDI},
+		cache.IMAD:   {next: cache.IMAD},
+	},
+	fill: map[MsgType]cache.State{
+		MsgData:     cache.Shared,
+		MsgDataExcl: cache.Exclusive,
+	},
+	dirDone: map[dirDoneKey]dirDoneAction{
+		// kept=Owned rows are absent on purpose: an owner claiming to keep a
+		// dirty copy under MESI is a protocol violation and panics.
+		{MsgGetS, cache.Shared}:  {next: DirShared, clearOwner: true, addOldOwner: true, addRequestor: true, respond: true, data: MsgData},
+		{MsgGetS, cache.Invalid}: {next: DirShared, clearOwner: true, addRequestor: true, respond: true, data: MsgData},
+		{MsgGetM, cache.Invalid}: {next: DirExclusive, ownerToRequestor: true, clearSharers: true, respond: true, data: MsgDataExcl},
+	},
+}
+
+// protocolList is the fixed registry order (also the -list display order).
+var protocolList = []*Protocol{ProtocolMOESI, ProtocolMESI}
+
+// LookupProtocol resolves a protocol by its registry name. The empty string
+// resolves to MOESI, the paper's baseline, so zero-value configurations keep
+// their historical behavior.
+func LookupProtocol(name string) (*Protocol, error) {
+	if name == "" {
+		return ProtocolMOESI, nil
+	}
+	for _, p := range protocolList {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("coherence: unknown protocol %q (have %v)", name, ProtocolNames())
+}
+
+// ProtocolNames lists the registered protocol names in registry order.
+func ProtocolNames() []string {
+	out := make([]string, len(protocolList))
+	for i, p := range protocolList {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -26,6 +26,11 @@ type testSystem struct {
 }
 
 func newTestSystem(t testing.TB, numL1, numBanks int) *testSystem {
+	return newTestSystemProto(t, numL1, numBanks, ProtocolMOESI)
+}
+
+// newTestSystemProto builds the system running an explicit protocol table.
+func newTestSystemProto(t testing.TB, numL1, numBanks int, proto *Protocol) *testSystem {
 	t.Helper()
 	engine := sim.NewEngine()
 	reg := stats.NewRegistry("test")
@@ -57,6 +62,7 @@ func newTestSystem(t testing.TB, numL1, numBanks int) *testSystem {
 			Cache:      cache.Config{SizeBytes: 4096, Assoc: 4, Name: fmt.Sprintf("l1.%d", i)},
 			HitLatency: 690 * sim.Picosecond,
 			Name:       fmt.Sprintf("l1.%d", i),
+			Protocol:   proto,
 		}
 		s.l1s = append(s.l1s, NewL1Controller(engine, noc.NodeID(i), torus, mapper, cfg, checker, reg))
 	}
@@ -65,6 +71,7 @@ func newTestSystem(t testing.TB, numL1, numBanks int) *testSystem {
 			L2:            cache.Config{SizeBytes: 64 * 1024, Assoc: 16, Name: fmt.Sprintf("l2.%d", i)},
 			AccessLatency: 3400 * sim.Picosecond,
 			Name:          fmt.Sprintf("l2.%d", i),
+			Protocol:      proto,
 		}
 		s.banks = append(s.banks, NewDirectoryBank(engine, bankIDs[i], torus, cfg, memory, reg))
 	}
@@ -384,17 +391,19 @@ func TestRandomStress(t *testing.T) {
 	if testing.Short() {
 		seeds = seeds[:2]
 	}
-	for _, seed := range seeds {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			runRandomStress(t, seed, 6, 4, 2000)
-		})
+	for _, proto := range protocolList {
+		for _, seed := range seeds {
+			proto, seed := proto, seed
+			t.Run(fmt.Sprintf("%s/seed%d", proto.Name, seed), func(t *testing.T) {
+				runRandomStress(t, proto, seed, 6, 4, 2000)
+			})
+		}
 	}
 }
 
-func runRandomStress(t *testing.T, seed int64, cores, banks, ops int) {
+func runRandomStress(t *testing.T, proto *Protocol, seed int64, cores, banks, ops int) {
 	rng := rand.New(rand.NewSource(seed))
-	s := newTestSystem(t, cores, banks)
+	s := newTestSystemProto(t, cores, banks, proto)
 
 	// 24 distinct lines, several of which collide in the same L1 set.
 	lines := make([]mem.PAddr, 24)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"ccsvm/internal/cache"
+	"ccsvm/internal/coherence"
 	"ccsvm/internal/dram"
 	"ccsvm/internal/kernelos"
 	"ccsvm/internal/mifd"
@@ -52,6 +53,10 @@ type Config struct {
 	// L2Latency is the L2/directory access latency.
 	L2Latency sim.Duration
 
+	// Coherence selects the coherence protocol variant the L1 controllers
+	// and directory banks execute.
+	Coherence CoherenceConfig
+
 	// TLBEntries is the per-core TLB capacity.
 	TLBEntries int
 
@@ -77,6 +82,18 @@ type Config struct {
 	// plumbing, not configuration — it must stay out of the canonical spec
 	// encoding and the override namespace, and it never changes a Result.
 	arena *simarena.Arena
+}
+
+// CoherenceConfig selects the coherence protocol the chip's memory system
+// runs. The protocol is a named set of transition tables registered in
+// internal/coherence; see coherence.ProtocolNames for the choices.
+type CoherenceConfig struct {
+	// Protocol names the directory protocol: "moesi" (the Table 2 baseline
+	// with owner-forwarding) or "mesi" (no Owned state; dirty lines are
+	// written back to the directory before a requestor is served). Empty
+	// selects MOESI, keeping zero-value configurations at the paper's
+	// baseline behavior.
+	Protocol string
 }
 
 // InArena returns the configuration with machine-part recycling through the
@@ -107,6 +124,7 @@ func DefaultConfig() Config {
 		L2Banks:         4,
 		L2BankBytes:     1 << 20,
 		L2Assoc:         16,
+		Coherence:       CoherenceConfig{Protocol: "moesi"},
 		TLBEntries:      64,
 		DRAM:            dram.DefaultCCSVMConfig(),
 		MIFD:            mifd.DefaultConfig(),
@@ -191,6 +209,11 @@ func (c Config) Validate() error {
 		if !chk.ok {
 			return &ConfigError{Field: chk.name}
 		}
+	}
+	// The protocol must be registered (empty means MOESI); an unknown name
+	// would otherwise only surface as a panic deep inside NewMachine.
+	if _, err := coherence.LookupProtocol(c.Coherence.Protocol); err != nil {
+		return &ConfigError{Field: fmt.Sprintf("Coherence.Protocol (%v)", err)}
 	}
 	// When both torus dimensions are given explicitly, the grid must hold
 	// every node, or placement would panic inside NewMachine. (With one or

@@ -108,10 +108,16 @@ func NewMachine(cfg Config) *Machine {
 		bankIDs[i] = noc.NodeID(cfg.NumCPUs + cfg.NumMTTOPs + i)
 	}
 	mapper := coherence.InterleaveBanks(bankIDs)
+	// Validate guaranteed the protocol name resolves.
+	proto, err := coherence.LookupProtocol(cfg.Coherence.Protocol)
+	if err != nil {
+		panic(err)
+	}
 	for i, id := range bankIDs {
 		bank := coherence.NewDirectoryBank(m.Engine, id, m.torus, coherence.BankConfig{
 			L2:            cache.Config{SizeBytes: cfg.L2BankBytes, Assoc: cfg.L2Assoc, Name: fmt.Sprintf("l2.%d", i)},
 			AccessLatency: cfg.L2Latency,
+			Protocol:      proto,
 			Name:          fmt.Sprintf("l2.%d", i),
 		}, m.DRAM, m.Stats)
 		m.banks = append(m.banks, bank)
@@ -139,6 +145,7 @@ func NewMachine(cfg Config) *Machine {
 		l1 := coherence.NewL1Controller(m.Engine, noc.NodeID(i), m.torus, mapper, coherence.L1Config{
 			Cache:      l1cfg,
 			HitLatency: cfg.CPUL1Hit,
+			Protocol:   proto,
 			Name:       name + ".l1",
 		}, m.Checker, m.Stats)
 		m.l1s = append(m.l1s, l1)
@@ -158,6 +165,7 @@ func NewMachine(cfg Config) *Machine {
 		l1 := coherence.NewL1Controller(m.Engine, node, m.torus, mapper, coherence.L1Config{
 			Cache:      l1cfg,
 			HitLatency: cfg.MTTOPL1Hit,
+			Protocol:   proto,
 			Name:       name + ".l1",
 		}, m.Checker, m.Stats)
 		m.l1s = append(m.l1s, l1)

@@ -291,7 +291,7 @@ func All(o Options) ([]*stats.Table, error) {
 	out = append(out, Table2())
 	steps := []func(Options) (*stats.Table, error){
 		Figure5, Figure6, Figure7, Figure8Left, Figure8Right, Figure9, CodeComparison,
-		LaneSensitivity, CacheSensitivity,
+		LaneSensitivity, CacheSensitivity, ProtocolSensitivity,
 	}
 	for _, step := range steps {
 		tb, err := step(o)

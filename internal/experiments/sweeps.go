@@ -60,6 +60,49 @@ func (o Options) overriddenCCSVMSpec(workload, path, value string) (ccsvm.RunSpe
 	}, nil
 }
 
+// ProtocolSensitivity compares the coherence protocol tables on the three
+// CCSVM workloads: under MESI every read of a modified remote line takes a
+// four-hop directory round trip (the dirty data is written back before the
+// requestor is answered) instead of MOESI's three-hop owner forward, and the
+// missing Owned state forces a writeback on every M->S downgrade. The table
+// reports runtime per protocol relative to MOESI alongside the chip-wide
+// forward and invalidation counts that explain the delta.
+func ProtocolSensitivity(o Options) (*stats.Table, error) {
+	protocols := ccsvm.Protocols()
+	wls := []string{"matmul", "apsp", "sparse"}
+	var specs []ccsvm.RunSpec
+	for _, proto := range protocols {
+		for _, wl := range wls {
+			spec, err := o.overriddenCCSVMSpec(wl, "ccsvm.coherence.protocol", proto)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, spec)
+		}
+	}
+	res, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Protocol sensitivity: CCSVM runtime by coherence protocol (relative to moesi)",
+		"Protocol", "matmul", "apsp", "sparse", "forwards", "invalidations")
+	for i, proto := range protocols {
+		var fwds, invs float64
+		for j := range wls {
+			m := res[len(wls)*i+j].Result.Metrics
+			fwds += m["coherence.forwards"]
+			invs += m["coherence.invalidations"]
+		}
+		row := []any{proto}
+		for j := range wls {
+			row = append(row, relative(res[len(wls)*i+j].Result, res[j].Result))
+		}
+		row = append(row, int(fwds), int(invs))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
 // LaneSensitivity sweeps the MTTOP issue width (the chip's lane count per
 // core) for dense matrix multiply and all-pairs shortest path, reporting
 // runtime relative to the Table 2 width of 8. Sub-linear returns past the

@@ -8,8 +8,9 @@ import "testing"
 // Runner was built to exclude.
 func TestSweepsDeterministicAtAnyParallelism(t *testing.T) {
 	for name, fn := range map[string]func(Options) (interface{ String() string }, error){
-		"lanes": func(o Options) (interface{ String() string }, error) { return LaneSensitivity(o) },
-		"cache": func(o Options) (interface{ String() string }, error) { return CacheSensitivity(o) },
+		"lanes":     func(o Options) (interface{ String() string }, error) { return LaneSensitivity(o) },
+		"cache":     func(o Options) (interface{ String() string }, error) { return CacheSensitivity(o) },
+		"protocols": func(o Options) (interface{ String() string }, error) { return ProtocolSensitivity(o) },
 	} {
 		t.Run(name, func(t *testing.T) {
 			seqOpts := DefaultOptions()

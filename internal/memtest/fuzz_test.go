@@ -22,9 +22,10 @@ func fuzzConfig() memtest.Config {
 
 // FuzzProtocol decodes arbitrary bytes into a stress program (every byte
 // string is structurally valid — see ProgramFromBytes) and runs it through
-// the full harness: any oracle mismatch, invariant violation, pool leak, or
-// model panic is a finding. The seed corpus covers read/write/atomic
-// single-slot contention and a mixed burst.
+// the full harness under BOTH protocol tables: any oracle mismatch, invariant
+// violation, pool leak, or model panic under either table is a finding. The
+// seed corpus covers read/write/atomic single-slot contention and a mixed
+// burst.
 func FuzzProtocol(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x00, 0x01, 0x02, 0x00, 0x01, 0x02})
@@ -36,11 +37,14 @@ func FuzzProtocol(f *testing.F) {
 		if len(data) > 1024 {
 			data = data[:1024]
 		}
-		cfg := fuzzConfig()
-		prog := memtest.ProgramFromBytes(cfg, data)
-		rep := memtest.RunProgram(cfg, prog)
-		if !rep.OK() {
-			t.Fatalf("decoded program failed: %s", rep.FailureSummary())
+		for _, proto := range []string{"moesi", "mesi"} {
+			cfg := fuzzConfig()
+			cfg.Protocol = proto
+			prog := memtest.ProgramFromBytes(cfg, data)
+			rep := memtest.RunProgram(cfg, prog)
+			if !rep.OK() {
+				t.Fatalf("decoded program failed under %s: %s", proto, rep.FailureSummary())
+			}
 		}
 	})
 }

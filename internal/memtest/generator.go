@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"ccsvm/internal/cache"
+	"ccsvm/internal/coherence"
 	"ccsvm/internal/core"
 	"ccsvm/internal/workloads"
 )
@@ -18,6 +19,12 @@ type Config struct {
 	// caches maximize eviction pressure. Used by machineConfig and by
 	// GoSource so reproducers stay one line.
 	MachineName string
+
+	// Protocol overrides the chip's coherence protocol ("moesi", "mesi");
+	// empty keeps whatever the machine configures. The invariant checks
+	// adapt: a protocol without the Owned state must never exhibit it, and
+	// must never forward data cache-to-cache.
+	Protocol string
 
 	// Seed drives the generator; the same Config must reproduce the same
 	// Program and (by the determinism contract) the same run, bit for bit.
@@ -102,22 +109,32 @@ func (c Config) normalized() Config {
 // slots reports the size of the shared address table.
 func (c Config) slots() int { return c.Lines * c.SlotsPerLine }
 
-// machineConfig resolves MachineName to a chip configuration.
+// machineConfig resolves MachineName to a chip configuration, with Protocol
+// applied on top when set.
 func (c Config) machineConfig() (core.Config, error) {
+	var mc core.Config
 	switch c.MachineName {
 	case "small":
-		return core.SmallConfig(), nil
+		mc = core.SmallConfig()
 	case "tiny":
-		return tinyMachine(), nil
+		mc = tinyMachine()
+	default:
+		p, ok := workloads.LookupPreset(c.MachineName)
+		if !ok {
+			return core.Config{}, fmt.Errorf("memtest: unknown machine %q (want a ccsvm preset, \"small\" or \"tiny\")", c.MachineName)
+		}
+		if p.Machine != workloads.MachineCCSVM {
+			return core.Config{}, fmt.Errorf("memtest: preset %q configures the %s machine; the stress harness drives the ccsvm machine only", c.MachineName, p.Machine)
+		}
+		mc = p.CCSVM
 	}
-	p, ok := workloads.LookupPreset(c.MachineName)
-	if !ok {
-		return core.Config{}, fmt.Errorf("memtest: unknown machine %q (want a ccsvm preset, \"small\" or \"tiny\")", c.MachineName)
+	if c.Protocol != "" {
+		if _, err := coherence.LookupProtocol(c.Protocol); err != nil {
+			return core.Config{}, fmt.Errorf("memtest: %v", err)
+		}
+		mc.Coherence.Protocol = c.Protocol
 	}
-	if p.Machine != workloads.MachineCCSVM {
-		return core.Config{}, fmt.Errorf("memtest: preset %q configures the %s machine; the stress harness drives the ccsvm machine only", c.MachineName, p.Machine)
-	}
-	return p.CCSVM, nil
+	return mc, nil
 }
 
 // tinyMachine is the memtest workhorse chip: the scaled-down test machine

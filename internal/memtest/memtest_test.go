@@ -28,106 +28,154 @@ func TestGenerateIsDeterministic(t *testing.T) {
 	}
 }
 
+// protocols enumerates the coherence protocol legs the stress suite runs:
+// every test below must hold under both tables.
+var protocols = []string{"moesi", "mesi"}
+
 // TestStressCleanRun is the core conformance check: a contended
 // multi-round random program over the tiny chip completes with every oracle,
-// invariant, accounting and completion check green.
+// invariant, accounting and completion check green — under each protocol.
 func TestStressCleanRun(t *testing.T) {
 	seeds := []int64{1, 2, 3, 4, 5}
 	if testing.Short() {
 		seeds = seeds[:2]
 	}
-	for _, seed := range seeds {
-		rep := memtest.RunSeed(memtest.DefaultConfig(seed))
-		if !rep.OK() {
-			t.Fatalf("seed %d: %s", seed, rep.FailureSummary())
-		}
-		if rep.Ops == 0 || rep.Events == 0 {
-			t.Fatalf("seed %d: empty run (ops %d, events %d)", seed, rep.Ops, rep.Events)
-		}
-		if rep.Pool.Gets == 0 {
-			t.Fatalf("seed %d: no protocol messages exchanged — the stress did not reach the protocol", seed)
-		}
-	}
-}
-
-// TestStressDeterminism runs the same seed twice and requires a bit-identical
-// event trace and final memory image — the determinism leg of the subsystem.
-func TestStressDeterminism(t *testing.T) {
-	cfg := memtest.DefaultConfig(42)
-	a := memtest.RunSeed(cfg)
-	b := memtest.RunSeed(cfg)
-	if !a.OK() || !b.OK() {
-		t.Fatalf("runs failed: %s %s", a.FailureSummary(), b.FailureSummary())
-	}
-	if a.TraceHash != b.TraceHash {
-		t.Fatalf("event traces diverge: %#x vs %#x", a.TraceHash, b.TraceHash)
-	}
-	if a.MemHash != b.MemHash {
-		t.Fatalf("final memory images diverge: %#x vs %#x", a.MemHash, b.MemHash)
-	}
-	if a.Events != b.Events || a.SimTime != b.SimTime || a.Ops != b.Ops {
-		t.Fatalf("run shapes diverge: %+v vs %+v", a, b)
-	}
-}
-
-// TestStressOnPresets runs a short stress on the paper presets the acceptance
-// criteria name, including the eviction-pressure small-cache variant.
-func TestStressOnPresets(t *testing.T) {
-	for _, preset := range []string{"ccsvm-base", "ccsvm-small-cache"} {
-		preset := preset
-		t.Run(preset, func(t *testing.T) {
-			cfg := memtest.DefaultConfig(1)
-			cfg.MachineName = preset
-			cfg.OpsPerThread = 150
-			rep := memtest.RunSeed(cfg)
-			if !rep.OK() {
-				t.Fatalf("%s", rep.FailureSummary())
+	for _, proto := range protocols {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			for _, seed := range seeds {
+				cfg := memtest.DefaultConfig(seed)
+				cfg.Protocol = proto
+				rep := memtest.RunSeed(cfg)
+				if !rep.OK() {
+					t.Fatalf("seed %d: %s", seed, rep.FailureSummary())
+				}
+				if rep.Ops == 0 || rep.Events == 0 {
+					t.Fatalf("seed %d: empty run (ops %d, events %d)", seed, rep.Ops, rep.Events)
+				}
+				if rep.Pool.Gets == 0 {
+					t.Fatalf("seed %d: no protocol messages exchanged — the stress did not reach the protocol", seed)
+				}
 			}
 		})
 	}
 }
 
+// TestStressDeterminism runs the same seed twice per protocol and requires a
+// bit-identical event trace and final memory image — the determinism leg of
+// the subsystem. It also requires the two protocols to actually diverge in
+// scheduling: if MESI traced identically to MOESI, the table swap would be
+// wired to nothing.
+func TestStressDeterminism(t *testing.T) {
+	traces := make(map[string]uint64)
+	for _, proto := range protocols {
+		cfg := memtest.DefaultConfig(42)
+		cfg.Protocol = proto
+		a := memtest.RunSeed(cfg)
+		b := memtest.RunSeed(cfg)
+		if !a.OK() || !b.OK() {
+			t.Fatalf("%s runs failed: %s %s", proto, a.FailureSummary(), b.FailureSummary())
+		}
+		if a.TraceHash != b.TraceHash {
+			t.Fatalf("%s event traces diverge: %#x vs %#x", proto, a.TraceHash, b.TraceHash)
+		}
+		if a.MemHash != b.MemHash {
+			t.Fatalf("%s final memory images diverge: %#x vs %#x", proto, a.MemHash, b.MemHash)
+		}
+		if a.Events != b.Events || a.SimTime != b.SimTime || a.Ops != b.Ops {
+			t.Fatalf("%s run shapes diverge: %+v vs %+v", proto, a, b)
+		}
+		traces[proto] = a.TraceHash
+	}
+	if traces["moesi"] == traces["mesi"] {
+		t.Fatal("MOESI and MESI produced identical event traces on a contended run — the protocol switch is not reaching the controllers")
+	}
+}
+
+// TestStressOnPresets runs a short stress on the paper presets the acceptance
+// criteria name — including the eviction-pressure small-cache variant and the
+// MESI preset — under each protocol leg. The ccsvm-base-mesi preset runs with
+// no Protocol override, proving the preset's own configuration selects the
+// table.
+func TestStressOnPresets(t *testing.T) {
+	for _, preset := range []string{"ccsvm-base", "ccsvm-small-cache"} {
+		for _, proto := range protocols {
+			preset, proto := preset, proto
+			t.Run(preset+"/"+proto, func(t *testing.T) {
+				t.Parallel()
+				cfg := memtest.DefaultConfig(1)
+				cfg.MachineName = preset
+				cfg.Protocol = proto
+				cfg.OpsPerThread = 150
+				rep := memtest.RunSeed(cfg)
+				if !rep.OK() {
+					t.Fatalf("%s", rep.FailureSummary())
+				}
+			})
+		}
+	}
+	t.Run("ccsvm-base-mesi/preset-default", func(t *testing.T) {
+		t.Parallel()
+		cfg := memtest.DefaultConfig(1)
+		cfg.MachineName = "ccsvm-base-mesi"
+		cfg.OpsPerThread = 150
+		rep := memtest.RunSeed(cfg)
+		if !rep.OK() {
+			t.Fatalf("%s", rep.FailureSummary())
+		}
+	})
+}
+
 // TestInjectedBugIsCaughtAndShrinks arms the directory's skip-invalidation
-// fault injection and requires (a) the stress checks to catch the planted
-// protocol bug and (b) the shrinker to minimize it to a directed litmus case
-// of at most 20 ops that still reproduces, emitted as Go source.
+// fault injection under each protocol and requires (a) the stress checks to
+// catch the planted protocol bug and (b) the shrinker to minimize it to a
+// directed litmus case of at most 20 ops that still reproduces, emitted as Go
+// source carrying the protocol so the reproducer pins the table it broke.
 func TestInjectedBugIsCaughtAndShrinks(t *testing.T) {
-	cfg := memtest.DefaultConfig(1)
-	cfg.InjectSkipInvalidations = 1
-	rep := memtest.RunSeed(cfg)
-	if rep.OK() {
-		t.Fatal("planted skip-invalidation bug was not caught")
-	}
-	found := false
-	for _, f := range rep.Failures {
-		if strings.Contains(f, "checker:") || strings.Contains(f, "quiesce") {
-			found = true
-		}
-	}
-	if !found {
-		t.Fatalf("bug caught, but not by an invariant check: %s", rep.FailureSummary())
-	}
+	for _, proto := range protocols {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			cfg := memtest.DefaultConfig(1)
+			cfg.Protocol = proto
+			cfg.InjectSkipInvalidations = 1
+			rep := memtest.RunSeed(cfg)
+			if rep.OK() {
+				t.Fatal("planted skip-invalidation bug was not caught")
+			}
+			found := false
+			for _, f := range rep.Failures {
+				if strings.Contains(f, "checker:") || strings.Contains(f, "quiesce") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("bug caught, but not by an invariant check: %s", rep.FailureSummary())
+			}
 
-	prog := memtest.Generate(cfg)
-	small, runs := memtest.Shrink(cfg, prog, 300)
-	t.Logf("shrunk %d ops -> %d ops in %d runs", prog.Ops(), small.Ops(), runs)
-	if small.Ops() > 20 {
-		t.Fatalf("shrunk reproducer has %d ops, want <= 20", small.Ops())
-	}
-	srep := memtest.RunProgram(cfg, small)
-	if srep.OK() {
-		t.Fatal("shrunk program no longer reproduces the failure")
-	}
+			prog := memtest.Generate(cfg)
+			small, runs := memtest.Shrink(cfg, prog, 300)
+			t.Logf("shrunk %d ops -> %d ops in %d runs", prog.Ops(), small.Ops(), runs)
+			if small.Ops() > 20 {
+				t.Fatalf("shrunk reproducer has %d ops, want <= 20", small.Ops())
+			}
+			srep := memtest.RunProgram(cfg, small)
+			if srep.OK() {
+				t.Fatal("shrunk program no longer reproduces the failure")
+			}
 
-	src := memtest.GoSource(cfg, small, "LitmusSkipInvalidation")
-	for _, want := range []string{
-		"func TestLitmusSkipInvalidation(t *testing.T)",
-		"memtest.RunProgram(cfg, prog)",
-		"InjectSkipInvalidations: 1",
-	} {
-		if !strings.Contains(src, want) {
-			t.Fatalf("emitted source missing %q:\n%s", want, src)
-		}
+			src := memtest.GoSource(cfg, small, "LitmusSkipInvalidation")
+			for _, want := range []string{
+				"func TestLitmusSkipInvalidation(t *testing.T)",
+				"memtest.RunProgram(cfg, prog)",
+				"InjectSkipInvalidations: 1",
+				`Protocol: "` + proto + `"`,
+			} {
+				if !strings.Contains(src, want) {
+					t.Fatalf("emitted source missing %q:\n%s", want, src)
+				}
+			}
+		})
 	}
 }
 
@@ -183,6 +231,20 @@ func TestUnknownMachineFailsCleanly(t *testing.T) {
 		t.Fatal("unknown machine accepted")
 	}
 	if !strings.Contains(rep.FailureSummary(), "unknown machine") {
+		t.Fatalf("unexpected failure: %s", rep.FailureSummary())
+	}
+}
+
+// TestUnknownProtocolFailsCleanly: a bad protocol name is a reported failure,
+// not a panic — the fuzz targets and CLIs rely on this.
+func TestUnknownProtocolFailsCleanly(t *testing.T) {
+	cfg := memtest.DefaultConfig(1)
+	cfg.Protocol = "mosi"
+	rep := memtest.RunSeed(cfg)
+	if rep.OK() {
+		t.Fatal("unknown protocol accepted")
+	}
+	if !strings.Contains(rep.FailureSummary(), "unknown protocol") {
 		t.Fatalf("unexpected failure: %s", rep.FailureSummary())
 	}
 }

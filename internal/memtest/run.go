@@ -139,6 +139,11 @@ func RunProgram(cfg Config, prog Program) (rep Report) {
 		h.fail("%v", err)
 		return rep
 	}
+	proto, err := coherence.LookupProtocol(mc.Coherence.Protocol)
+	if err != nil {
+		h.fail("%v", err)
+		return rep
+	}
 	m := core.NewMachine(mc)
 	defer m.Shutdown()
 	m.Engine.EnableTraceHash()
@@ -193,7 +198,17 @@ func RunProgram(cfg Config, prog Program) (rep Report) {
 			h.fail("round %d: %v", r, err)
 			break
 		}
-		sampleQuiesce(m, h, r)
+		sampleQuiesce(m, h, proto, r)
+	}
+
+	if !proto.HasOwned {
+		var fwds uint64
+		for _, c := range m.L1Controllers() {
+			fwds += c.DataForwards()
+		}
+		if fwds != 0 {
+			h.fail("protocol %s: %d cache-to-cache data forwards under a no-owner-forwarding protocol", proto.Name, fwds)
+		}
 	}
 
 	for i, v := range m.Checker.Violations {
@@ -231,8 +246,10 @@ func RunProgram(cfg Config, prog Program) (rep Report) {
 // against the actual L1 states at a quiesce point: all controllers drained,
 // at most one owner per line, no writer coexisting with a reader, and the
 // directory state/owner/sharer-vector consistent with (conservatively, a
-// superset of) the true holders.
-func sampleQuiesce(m *core.Machine, h *harness, round int) {
+// superset of) the true holders. The checks are parameterized by protocol:
+// under one without the Owned state, neither an L1 in O nor a Dir-O entry may
+// ever exist, not even transiently between rounds.
+func sampleQuiesce(m *core.Machine, h *harness, proto *coherence.Protocol, round int) {
 	l1s := m.L1Controllers()
 	for i, c := range l1s {
 		if n := c.OutstandingTransactions(); n != 0 {
@@ -256,12 +273,12 @@ func sampleQuiesce(m *core.Machine, h *harness, round int) {
 			continue
 		}
 		seen[la] = true
-		checkLine(m, h, round, la)
+		checkLine(m, h, proto, round, la)
 	}
 }
 
 // checkLine verifies one line's invariants at quiesce.
-func checkLine(m *core.Machine, h *harness, round int, la mem.LineAddr) {
+func checkLine(m *core.Machine, h *harness, proto *coherence.Protocol, round int, la mem.LineAddr) {
 	fail := func(format string, args ...any) {
 		h.fail("quiesce round %d line %v: "+format, append([]any{round, la}, args...)...)
 	}
@@ -282,6 +299,9 @@ func checkLine(m *core.Machine, h *harness, round int, la mem.LineAddr) {
 		}
 		if l.State == cache.Invalid {
 			continue
+		}
+		if !proto.HasOwned && l.State == cache.Owned {
+			fail("l1 %d holds Owned under protocol %s, which has no O state", i, proto.Name)
 		}
 		holders[c.NodeID()] = l.State
 		if l.State.IsOwnerState() {
@@ -348,6 +368,10 @@ func checkLine(m *core.Machine, h *harness, round int, la mem.LineAddr) {
 			fail("Dir-EM with extra holders: %v", holders)
 		}
 	case dirState == coherence.DirOwned:
+		if !proto.HasOwned {
+			fail("directory tracks Dir-O under protocol %s, which has no O state", proto.Name)
+			return
+		}
 		st, ok := holders[dirOwner]
 		if !ok || st != cache.Owned {
 			fail("Dir-O owner %d actually holds %v", dirOwner, st)

@@ -157,6 +157,63 @@ func TestCoalescingSingleExecution(t *testing.T) {
 	}
 }
 
+// TestProtocolVariantsNeverCoalesce: two in-flight requests that differ only
+// in the coherence protocol are different content addresses, so neither may
+// attach to the other's computation — both simulations must execute. This is
+// the serving-layer face of the cache-poisoning fix (v1 spec addresses did
+// not encode the protocol).
+func TestProtocolVariantsNeverCoalesce(t *testing.T) {
+	s, ts := newTestServer(t, sweepd.Config{Parallel: 4, QueueDepth: 128})
+	c := &blockCtl{started: make(chan struct{}, 64), release: make(chan struct{})}
+	ctl.Store(c)
+	defer ctl.Store(nil)
+
+	reqs := []string{
+		`{"workload":"blocktest","system":"ccsvm"}`,
+		`{"workload":"blocktest","system":"ccsvm","overrides":["ccsvm.coherence.protocol=mesi"]}`,
+	}
+	var wg sync.WaitGroup
+	statuses := make([]int, len(reqs))
+	bodies := make([][]byte, len(reqs))
+	for i, body := range reqs {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			statuses[i], _, bodies[i] = post(t, ts.URL+"/run", body)
+		}(i, body)
+	}
+	// Both simulations must start: if the MESI request had coalesced onto the
+	// MOESI one, the second started-signal would never arrive.
+	<-c.started
+	<-c.started
+	close(c.release)
+	wg.Wait()
+
+	if got := c.runs.Load(); got != 2 {
+		t.Fatalf("%d simulations executed, want 2 (one per protocol)", got)
+	}
+	if st := s.Stats(); st.Coalesced != 0 {
+		t.Fatalf("%d requests coalesced across protocol variants", st.Coalesced)
+	}
+	for i := range reqs {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d, body %s", i, statuses[i], bodies[i])
+		}
+	}
+	var a, b struct {
+		SpecHash string `json:"spec_hash"`
+	}
+	if err := json.Unmarshal(bodies[0], &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodies[1], &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.SpecHash == b.SpecHash {
+		t.Fatalf("protocol variants served under one spec hash %s", a.SpecHash)
+	}
+}
+
 // TestRunCacheHit is the acceptance flow: repeated identical POST /run
 // requests hit the cache, visible in /cache/stats, and the cached document
 // is byte-identical to the fresh one.

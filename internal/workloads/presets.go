@@ -129,6 +129,16 @@ func init() {
 		}(),
 	})
 	RegisterPreset(Preset{
+		Name:        "ccsvm-base-mesi",
+		Description: "Table 2 CCSVM chip running MESI (no Owned state, no owner-forwarding)",
+		Machine:     MachineCCSVM,
+		CCSVM: func() core.Config {
+			c := core.DefaultConfig()
+			c.Coherence.Protocol = "mesi"
+			return c
+		}(),
+	})
+	RegisterPreset(Preset{
 		Name:        "ccsvm-small-cache",
 		Description: "CCSVM with half-size L1s and a 1 MB shared L2",
 		Machine:     MachineCCSVM,

@@ -208,6 +208,24 @@ func TestRunnerArenaReuse(t *testing.T) {
 // also covers the disk encode/decode round trip.
 func TestRunnerCacheByteIdentityAllPairs(t *testing.T) {
 	specs := ccsvm.Pairs(ccsvm.DefaultParams())
+	// The coherence-protocol dimension must round-trip the cache too: every
+	// pair above runs the default MOESI table, so add MESI runs reached both
+	// through the preset and through an explicit override (their specs hash
+	// differently from every MOESI pair, so the store count below still holds).
+	for _, in := range []struct{ workload, preset, override string }{
+		{workload: "matmul", preset: "ccsvm-base-mesi"},
+		{workload: "barneshut", override: "ccsvm.coherence.protocol=mesi"},
+	} {
+		var overrides []string
+		if in.override != "" {
+			overrides = []string{in.override}
+		}
+		spec, err := ccsvm.BuildSpec(in.workload, ccsvm.SystemCCSVM, in.preset, overrides, ccsvm.DefaultParams())
+		if err != nil {
+			t.Fatalf("BuildSpec mesi leg %+v: %v", in, err)
+		}
+		specs = append(specs, spec)
+	}
 
 	fresh, err := (&ccsvm.Runner{Parallel: 4}).Run(specs)
 	if err != nil {

@@ -44,7 +44,11 @@ import (
 // the first line of CanonicalBytes, so bumping it changes every hash and
 // cleanly invalidates every previously persisted cache entry. Bump it
 // whenever the encoding or the configuration schema changes shape.
-const SpecFormatVersion = 1
+//
+// v2: the CCSVM configuration grew Coherence.Protocol — v1 addresses did not
+// encode the coherence protocol, so they must all be retired or a MESI run
+// could be served a cached MOESI result.
+const SpecFormatVersion = 2
 
 // CacheKey is the content address of a RunSpec: the SHA-256 of its canonical
 // encoding. It is the key type of the result cache.

@@ -50,7 +50,12 @@ type goldenParams struct {
 
 // goldenValueFor picks a structurally valid override value for a path's
 // declared type (the " type" suffix of ccsvm.OverridePaths entries).
-func goldenValueFor(typ string) string {
+// Validated enum fields need a real member rather than the generic
+// placeholder of their type.
+func goldenValueFor(path, typ string) string {
+	if strings.HasSuffix(path, ".Coherence.Protocol") {
+		return "mesi"
+	}
 	switch typ {
 	case "bool":
 		return "true"
@@ -120,8 +125,19 @@ func goldenSpecs(t *testing.T) []goldenEntry {
 			if !ok {
 				t.Fatalf("override path %q has no type suffix", pathType)
 			}
-			override := path + "=" + goldenValueFor(typ)
+			override := path + "=" + goldenValueFor(path, typ)
 			add("override/"+path, "matmul", machine.sys, "", []string{override}, p)
+		}
+	}
+	// Every coherence protocol on every CCSVM preset: the protocol dimension
+	// must split the key space on every chip variant, not just the default.
+	for _, pr := range ccsvm.Presets() {
+		if pr.Machine != ccsvm.MachineCCSVM {
+			continue
+		}
+		for _, proto := range ccsvm.Protocols() {
+			add(fmt.Sprintf("protocol/%s/%s", pr.Name, proto), "matmul", ccsvm.SystemCCSVM, pr.Name,
+				[]string{"ccsvm.coherence.protocol=" + proto}, p)
 		}
 	}
 	// Parameter spread: size, seed, density (on the workload that reads it),

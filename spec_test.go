@@ -15,7 +15,7 @@ import (
 func TestCanonicalBytesShape(t *testing.T) {
 	spec := ccsvm.RunSpec{Workload: "matmul", System: ccsvm.MustSystem(ccsvm.SystemCCSVM), Params: ccsvm.DefaultParams()}
 	got := string(spec.CanonicalBytes())
-	if !strings.HasPrefix(got, "ccsvm-spec-v1\nworkload=\"matmul\"\nsystem=\"ccsvm\"\n") {
+	if !strings.HasPrefix(got, "ccsvm-spec-v2\nworkload=\"matmul\"\nsystem=\"ccsvm\"\n") {
 		t.Fatalf("canonical encoding does not lead with version and identity:\n%s", got)
 	}
 	if !strings.Contains(got, "ccsvm.NumMTTOPs=") {
@@ -69,6 +69,34 @@ func TestHashIgnoresProvenance(t *testing.T) {
 	}
 	if noop.Hash() != base.Hash() {
 		t.Error("an override writing the default value changed the content address")
+	}
+}
+
+// TestProtocolSplitsCacheAddresses is the cache-poisoning regression: a MESI
+// run and a MOESI run of the same workload must never share a content address
+// (v1 specs did not encode the protocol, so a MESI request could have been
+// served a cached MOESI result), while the two routes to MESI — the
+// ccsvm-base-mesi preset and an explicit override on the default machine —
+// must converge on one address, since provenance is not identity.
+func TestProtocolSplitsCacheAddresses(t *testing.T) {
+	p := ccsvm.DefaultParams()
+	moesi, err := ccsvm.BuildSpec("matmul", ccsvm.SystemCCSVM, "", nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesi, err := ccsvm.BuildSpec("matmul", ccsvm.SystemCCSVM, "", []string{"ccsvm.coherence.protocol=mesi"}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moesi.Hash() == mesi.Hash() {
+		t.Fatal("MESI and MOESI specs share a content address: the cache would serve cross-protocol results")
+	}
+	preset, err := ccsvm.BuildSpec("matmul", ccsvm.SystemCCSVM, "ccsvm-base-mesi", nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preset.Hash() != mesi.Hash() {
+		t.Fatal("ccsvm-base-mesi preset and explicit mesi override resolve to different addresses")
 	}
 }
 
